@@ -1,0 +1,28 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Each module under ``benchmarks/`` regenerates one table or figure from the
+paper's motivation (§2) or evaluation (§5): it prints the same rows/series
+the paper reports and asserts the qualitative *shape* (who wins, by
+roughly what factor, where crossovers fall).  Absolute values come from a
+simulator, not the authors' testbed — see EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a figure/table body so it survives pytest capture (-s not
+    required: pytest-benchmark's summary prints after capture ends, and
+    we mirror figure output to stderr so it is visible in CI logs)."""
+    print(text)
+    print(text, file=sys.stderr)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Component ablation — what each EXIST design choice buys (§3.2/§3.3).
+
+The paper argues two node-level choices produce the per-mille overhead:
+
+* **OTC**: control at O(#cores) instead of O(#context switches);
+* **UMA**: per-core compulsory buffers instead of per-thread buffers
+  (which force control at every switch) and no draining during tracing.
+
+Ablated here on the same substrate and workload:
+
+* ``EXIST``            — both components (the paper's system);
+* ``no-OTC``           — hardware tracing with per-switch enable/disable
+  control but *no* draining (NHT minus its data-path costs): isolates
+  the control-operation cost OTC removes;
+* ``no-UMA``           — per-thread ring buffers sized like UMA's budget
+  share, forcing output reprogramming at every switch (the REPT design
+  scaled up): isolates the buffer-design cost;
+* ``NHT``              — neither (per-switch control + draining).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import run_traced_execution
+from repro.hwtrace.cost import CostModel
+from repro.tracing.nht import NhtScheme
+from repro.tracing.rept import ReptScheme
+from repro.util.units import MIB
+
+
+def make_variant(name):
+    if name == "EXIST":
+        from repro.core.exist import ExistScheme
+
+        return ExistScheme()
+    if name == "no-OTC":
+        # per-switch control, no drain (drain cost zeroed)
+        model = CostModel(drain_per_mib_ns=0, drain_interference_tax=0.0)
+        return NhtScheme(cost_model=model)
+    if name == "no-UMA":
+        # per-thread buffers at UMA-scale size: control at every switch
+        model = CostModel(drain_per_mib_ns=0, drain_interference_tax=0.0)
+        return ReptScheme(ring_bytes=64 * MIB, cost_model=model)
+    if name == "NHT":
+        return NhtScheme()
+    raise KeyError(name)
+
+
+VARIANTS = ["EXIST", "no-OTC", "no-UMA", "NHT"]
+
+
+def run_figure():
+    oracle = run_traced_execution(
+        "mc", "Oracle", cpuset=[0, 1, 2, 3], seed=13, window_s=0.25
+    )
+    results = {}
+    for name in VARIANTS:
+        run = run_traced_execution(
+            "mc", make_variant(name), cpuset=[0, 1, 2, 3], seed=13,
+            window_s=0.25,
+        )
+        results[name] = {
+            "slowdown": 1 - run.throughput_rps / oracle.throughput_rps,
+            "wrmsr": run.artifacts.ledger.count("wrmsr"),
+        }
+    return results
+
+
+def test_ablation_components(benchmark):
+    results = once(benchmark, run_figure)
+
+    emit(format_table(
+        [[name, f"{results[name]['slowdown']:.2%}", results[name]["wrmsr"]]
+         for name in VARIANTS],
+        headers=["variant", "slowdown", "WRMSRs"],
+        title="Component ablation: EXIST vs designs missing OTC / UMA",
+    ))
+
+    exist = results["EXIST"]["slowdown"]
+    # dropping OTC (per-switch control) costs several times EXIST even
+    # with the data path free — the §3.2 contribution in isolation
+    assert results["no-OTC"]["slowdown"] > 2.5 * max(exist, 1e-4)
+    # per-thread buffers (no UMA) force per-switch control too: the same
+    # order of cost as the no-OTC variant, far above EXIST
+    assert results["no-UMA"]["slowdown"] >= results["no-OTC"]["slowdown"] * 0.5
+    assert results["no-UMA"]["slowdown"] > 3 * max(exist, 1e-4)
+    # the full conventional design (control + draining) is the worst
+    assert results["NHT"]["slowdown"] == max(
+        r["slowdown"] for r in results.values()
+    )
+    # the operation counts tell the same story as the slowdowns
+    assert results["EXIST"]["wrmsr"] < 0.02 * results["no-OTC"]["wrmsr"]

@@ -1,0 +1,102 @@
+"""Figure 4 — software/hardware event analysis of tracing overheads (§2.2).
+
+Paper: context switches increase greatly in multi-application scenarios,
+tracing control at every switch drives the overhead increase, and kernel
+time grows with tracing (15% / 19% / 32% across densities).  Hardware
+cache-miss events move with co-location, barely with tracing (LLC misses
++1.3% from tracing).
+
+The simulator reproduces the software-event side (context switches, CPU
+migrations, kernel time) plus retired branches; cache-miss *counts* are
+outside its fidelity envelope (the LLC interference model captures their
+throughput effect instead — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import make_scheme
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload, variant
+from repro.util.units import MSEC, SEC
+
+SCENARIOS = ("Exclusive A", "Shared A with B", "Shared A with B and C")
+WINDOW = 800 * MSEC
+
+
+def run_scenario(density: int, traced: bool, seed=7):
+    system = KernelSystem(SystemConfig.small_node(8, seed=seed))
+    target = get_workload("om").spawn(system, cpuset=[0, 1], seed=seed)
+    if density >= 2:
+        variant(get_workload("xz"), name="B", n_threads=2, work_seconds=2.0).spawn(
+            system, cpuset=[0, 1], seed=seed + 1
+        )
+    if density >= 3:
+        variant(get_workload("ms"), name="C", n_threads=2).spawn(
+            system, cpuset=[0, 1], seed=seed + 2
+        )
+    if traced:
+        make_scheme("NHT").install(system, [target])
+    delta = system.measure_window(WINDOW, warmup_ns=50 * MSEC)
+    return {
+        "context_switches": delta.context_switches,
+        "migrations": delta.migrations,
+        "kernel_ms": delta.kernel_ns / 1e6,
+        "branches_millions": sum(
+            t.branches_retired for t in target.threads
+        ) / 1e6,
+    }
+
+
+def run_figure():
+    return {
+        (scenario, traced): run_scenario(density, traced)
+        for density, scenario in enumerate(SCENARIOS, start=1)
+        for traced in (False, True)
+    }
+
+
+def test_fig04_event_analysis(benchmark):
+    table = once(benchmark, run_figure)
+
+    rows = []
+    for scenario in SCENARIOS:
+        for traced in (False, True):
+            entry = table[(scenario, traced)]
+            rows.append([
+                scenario,
+                "w/ tracing" if traced else "w/o tracing",
+                entry["context_switches"],
+                entry["migrations"],
+                f"{entry['kernel_ms']:.2f}",
+                f"{entry['branches_millions']:.0f}",
+            ])
+    emit(format_table(
+        rows,
+        headers=["scenario", "tracing", "ctx switches", "migrations",
+                 "kernel ms", "target branches (M)"],
+        title="Figure 4: software events across co-location densities",
+    ))
+
+    # context switches grow greatly with co-location density
+    solo = table[("Exclusive A", False)]["context_switches"]
+    two = table[("Shared A with B", False)]["context_switches"]
+    three = table[("Shared A with B and C", False)]["context_switches"]
+    assert two > 5 * max(solo, 1)
+    assert three > two
+
+    # tracing increases kernel time in the shared scenarios, where the
+    # per-switch control operations fire (exclusive runs have no target
+    # context switches, so their kernel time moves only with noise)
+    for scenario in SCENARIOS[1:]:
+        base = table[(scenario, False)]["kernel_ms"]
+        traced = table[(scenario, True)]["kernel_ms"]
+        assert traced > base * 1.05, scenario
+    # the absolute kernel-time increase grows with co-location density
+    abs_increases = [
+        table[(s, True)]["kernel_ms"] - table[(s, False)]["kernel_ms"]
+        for s in SCENARIOS
+    ]
+    assert abs_increases[1] > abs_increases[0]
+    assert abs_increases[2] > abs_increases[0]

@@ -1,0 +1,91 @@
+"""Figure 8 — CDF of context-switch periods on a realistic node (§3.2).
+
+Paper: most cores and threads see a context switch in under 1 ms (CDF at
+1 ms: ~85% of all switches, ~90% grouped by core, ~94% grouped by
+process), so conventional per-switch tracing control performs ~1000x more
+operations than an order-of-seconds control period would.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload, variant
+from repro.util.stats import percentile
+from repro.util.units import MSEC, SEC
+
+
+def run_figure():
+    system = KernelSystem(SystemConfig.small_node(8, seed=9))
+    system.scheduler.enable_switch_log()
+    # a mixed node: caches, web, db, a daemon, plus a compute job
+    get_workload("mc").spawn(system, cpuset=[0, 1, 2, 3], seed=1)
+    get_workload("ng").spawn(system, cpuset=[2, 3, 4, 5], seed=2)
+    variant(get_workload("ms"), n_threads=2).spawn(system, cpuset=[4, 5], seed=3)
+    get_workload("Agent").spawn(system, seed=4)
+    variant(get_workload("om"), work_seconds=2.0).spawn(system, cpuset=[6], seed=5)
+    system.run_for(600 * MSEC)
+
+    log = system.scheduler.switch_log
+    assert log is not None
+
+    all_periods = []
+    by_core = defaultdict(list)
+    by_process = defaultdict(list)
+    last_all = None
+    last_core = {}
+    last_process = {}
+    for timestamp, cpu, pid, tid in log:
+        if last_all is not None:
+            all_periods.append(timestamp - last_all)
+        last_all = timestamp
+        if cpu in last_core:
+            by_core[cpu].append(timestamp - last_core[cpu])
+        last_core[cpu] = timestamp
+        if pid and pid in last_process:
+            by_process[pid].append(timestamp - last_process[pid])
+        if pid:
+            last_process[pid] = timestamp
+
+    core_periods = [p for periods in by_core.values() for p in periods]
+    process_periods = [p for periods in by_process.values() for p in periods]
+    return all_periods, core_periods, process_periods
+
+
+def _fraction_below(samples, threshold):
+    return sum(1 for s in samples if s <= threshold) / len(samples)
+
+
+def test_fig08_ctx_switch_cdf(benchmark):
+    all_periods, core_periods, process_periods = once(benchmark, run_figure)
+
+    rows = []
+    for label, samples in (
+        ("all switches", all_periods),
+        ("grouped by core", core_periods),
+        ("grouped by process", process_periods),
+    ):
+        rows.append([
+            label,
+            len(samples),
+            f"{percentile(samples, 50) / MSEC:.3f}",
+            f"{_fraction_below(samples, 1 * MSEC):.1%}",
+            f"{_fraction_below(samples, 10 * MSEC):.1%}",
+        ])
+    emit(format_table(
+        rows,
+        headers=["grouping", "n", "median (ms)", "CDF@1ms", "CDF@10ms"],
+        title="Figure 8: context-switch period distributions",
+    ))
+
+    # the busy node context-switches heavily
+    assert len(all_periods) > 10_000
+    # most switches happen in under 1 ms (paper: 85-94% across groupings)
+    assert _fraction_below(all_periods, 1 * MSEC) > 0.75
+    assert _fraction_below(core_periods, 1 * MSEC) > 0.60
+    # per-switch control at an order-of-seconds period is ~1000x too often
+    median_period = percentile(core_periods, 50)
+    assert 1 * SEC / max(median_period, 1) > 100

@@ -1,0 +1,68 @@
+"""Figure 13 — normalized slowdown on compute benchmarks.
+
+Paper: EXIST's slowdown ranges 0.4-1.5% across SPEC CPU 2017 intspeed
+(avg 0.9%), reducing time overhead by 3.5x / 4.4x / 6.6x over StaSam,
+eBPF, and NHT respectively.  Closer to Oracle (1.0) is better.
+
+This bench also covers the §3.2 ablation the DESIGN.md calls out: NHT
+*is* EXIST-without-OTC-and-UMA (per-context-switch control + continuous
+draining), so the EXIST-vs-NHT gap is the contribution of the paper's
+node-level design.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import SCHEME_ORDER, slowdown_table
+from repro.util.stats import geometric_mean
+
+SPEC = ["pb", "gcc", "mcf", "om", "xa", "x264", "de", "le", "ex", "xz"]
+
+
+def run_figure():
+    return slowdown_table(SPEC, schemes=SCHEME_ORDER, cpuset=[0, 1, 2, 3], seed=7)
+
+
+def test_fig13_spec_slowdown(benchmark):
+    table = once(benchmark, run_figure)
+
+    rows = []
+    for workload in SPEC:
+        rows.append(
+            [workload]
+            + [f"{table[workload][scheme]:.4f}" for scheme in SCHEME_ORDER]
+        )
+    averages = {
+        scheme: geometric_mean([table[w][scheme] for w in SPEC])
+        for scheme in SCHEME_ORDER
+    }
+    rows.append(["Avg."] + [f"{averages[s]:.4f}" for s in SCHEME_ORDER])
+    emit(format_table(rows, headers=["app"] + list(SCHEME_ORDER),
+                      title="Figure 13: normalized execution-time slowdown"))
+
+    exist_overheads = [table[w]["EXIST"] - 1 for w in SPEC]
+    avg_exist = averages["EXIST"] - 1
+    emit(
+        f"EXIST overhead: min={min(exist_overheads):.2%} "
+        f"max={max(exist_overheads):.2%} avg={avg_exist:.2%}; "
+        f"reduction vs StaSam={((averages['StaSam'] - 1) / avg_exist):.1f}x "
+        f"eBPF={((averages['eBPF'] - 1) / avg_exist):.1f}x "
+        f"NHT={((averages['NHT'] - 1) / avg_exist):.1f}x"
+    )
+
+    # paper shape: EXIST in the 0.4-2% band on every app
+    for workload in SPEC:
+        assert 0.0 <= table[workload]["EXIST"] - 1 < 0.02, workload
+    # EXIST beats every baseline on every app
+    for workload in SPEC:
+        for baseline in ("StaSam", "eBPF", "NHT"):
+            assert table[workload][baseline] > table[workload]["EXIST"], (
+                workload, baseline,
+            )
+    # reduction factors roughly in the paper's 3.5x / 4.4x / 6.6x regime
+    assert (averages["StaSam"] - 1) / avg_exist > 2.0
+    assert (averages["eBPF"] - 1) / avg_exist > 2.0
+    assert (averages["NHT"] - 1) / avg_exist > 4.0
+    # NHT is the worst baseline on average (full tracing cost)
+    assert averages["NHT"] == max(averages[s] for s in SCHEME_ORDER)

@@ -1,0 +1,60 @@
+"""Figure 14 — normalized throughput on online benchmarks.
+
+Paper: tracing overhead reduced by 6.4x / 7.3x / 12.2x over StaSam, eBPF,
+and NHT; EXIST holds ~1.1% overhead.  Online benchmarks are *more*
+sensitive than compute ones because per-request context switches multiply
+the baselines' control costs.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import SCHEME_ORDER, throughput_table
+from repro.util.stats import geometric_mean
+
+ONLINE = ["mc", "ng", "ms"]
+
+
+def run_figure():
+    return throughput_table(
+        ONLINE, schemes=SCHEME_ORDER, cpuset=[0, 1, 2, 3], seed=7, window_s=0.2
+    )
+
+
+def test_fig14_online_throughput(benchmark):
+    table = once(benchmark, run_figure)
+
+    rows = [
+        [w] + [f"{table[w][s]:.4f}" for s in SCHEME_ORDER] for w in ONLINE
+    ]
+    averages = {
+        s: geometric_mean([table[w][s] for w in ONLINE]) for s in SCHEME_ORDER
+    }
+    rows.append(["Avg."] + [f"{averages[s]:.4f}" for s in SCHEME_ORDER])
+    emit(format_table(rows, headers=["app"] + list(SCHEME_ORDER),
+                      title="Figure 14: normalized throughput (higher is better)"))
+
+    exist_loss = 1 - averages["EXIST"]
+    emit(
+        f"EXIST throughput loss: {exist_loss:.2%}; reduction vs "
+        f"StaSam={(1 - averages['StaSam']) / exist_loss:.1f}x "
+        f"eBPF={(1 - averages['eBPF']) / exist_loss:.1f}x "
+        f"NHT={(1 - averages['NHT']) / exist_loss:.1f}x"
+    )
+
+    # EXIST stays above 97.5% of Oracle throughput on every app
+    for workload in ONLINE:
+        assert table[workload]["EXIST"] > 0.975, workload
+    # EXIST beats every baseline on every app (small measurement noise
+    # allowance: ms's fsync jitter adds ~0.5% run-to-run variance)
+    for workload in ONLINE:
+        row = table[workload]
+        for baseline in ("StaSam", "eBPF", "NHT"):
+            assert row[baseline] < row["EXIST"] + 0.005, (workload, baseline)
+    # average ordering matches the paper: EXIST > StaSam > eBPF > NHT
+    assert averages["EXIST"] > averages["StaSam"] > averages["eBPF"] > averages["NHT"]
+    # NHT's per-switch control costs are heavily amplified online
+    assert (1 - averages["NHT"]) / exist_loss > 5.0
+    # online workloads hurt more than compute under the baselines
+    assert averages["NHT"] < 0.95

@@ -1,0 +1,111 @@
+"""Figure 15 — tracing overhead on real-world cloud applications (§5.2).
+
+Paper: across Search1/Search2/Cache/Pred/Agent, EXIST adds ~1.1% CPU
+utilization (2.4x / 2.8x / 12.2x better than StaSam / eBPF / NHT) and
+~2.2% CPI at low stress while the baselines add 5.1% / 4.9% / 20.8%.
+CPU-set Search1 shows the smallest EXIST overhead (bound scheduling).
+
+Low load = the service alone on the node; high load = co-located with two
+stress neighbours (the shared-and-stressed regime).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import make_scheme
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import ProvisioningMode, get_workload, variant
+from repro.util.units import MSEC
+
+APPS = ["Search1", "Search2", "Cache", "Pred", "Agent"]
+SCHEMES = ["Oracle", "EXIST", "StaSam", "eBPF", "NHT"]
+WINDOW = 150 * MSEC
+
+
+def run_case(app: str, scheme_name: str, stressed: bool, seed=7):
+    system = KernelSystem(SystemConfig.small_node(8, seed=seed))
+    profile = get_workload(app)
+    cpuset = (
+        [0, 1, 2, 3]
+        if profile.provisioning is ProvisioningMode.CPU_SET
+        else None
+    )
+    target = profile.spawn(system, cpuset=cpuset, seed=seed)
+    if stressed:
+        variant(get_workload("mc"), name="S1", n_threads=2).spawn(
+            system, cpuset=[4, 5], seed=seed + 1
+        )
+        variant(get_workload("Cache"), name="S2", n_threads=2).spawn(
+            system, cpuset=[6, 7], seed=seed + 2
+        )
+    if scheme_name != "Oracle":
+        make_scheme(scheme_name).install(system, [target])
+    system.run_for(WINDOW)
+    cpi = system.process_cpi(target)
+    target_busy = sum(t.cpu_ns + t.kernel_ns for t in target.threads)
+    utilization = target_busy / (WINDOW * len(system.topology))
+    return cpi, utilization
+
+
+def run_figure():
+    table = {}
+    for app in APPS:
+        for stressed in (False, True):
+            for scheme in SCHEMES:
+                table[(app, scheme, stressed)] = run_case(app, scheme, stressed)
+    return table
+
+
+def test_fig15_cloud_overhead(benchmark):
+    table = once(benchmark, run_figure)
+
+    rows = []
+    overheads = {scheme: [] for scheme in SCHEMES[1:]}
+    util_overheads = {scheme: [] for scheme in SCHEMES[1:]}
+    for app in APPS:
+        for scheme in SCHEMES[1:]:
+            cpi_low = table[(app, scheme, False)][0] / table[(app, "Oracle", False)][0] - 1
+            cpi_high = table[(app, scheme, True)][0] / table[(app, "Oracle", True)][0] - 1
+            util_delta = (
+                table[(app, scheme, False)][1] - table[(app, "Oracle", False)][1]
+            )
+            overheads[scheme].append((cpi_low, cpi_high))
+            util_overheads[scheme].append(util_delta)
+            rows.append([
+                app, scheme, f"{cpi_low:.2%}", f"{cpi_high:.2%}", f"{util_delta:+.2%}"
+            ])
+    emit(format_table(
+        rows,
+        headers=["app", "scheme", "CPI ovh (low)", "CPI ovh (high)", "util delta"],
+        title="Figure 15: tracing overhead on cloud applications",
+    ))
+
+    avg = {
+        scheme: sum(low for low, _ in pairs) / len(pairs)
+        for scheme, pairs in overheads.items()
+    }
+    emit(f"average low-load CPI overheads: "
+         + ", ".join(f"{s}={v:.2%}" for s, v in avg.items()))
+
+    # EXIST stays in the low single digits on every app and condition
+    for app in APPS:
+        for stressed in (False, True):
+            cpi_overhead = (
+                table[(app, "EXIST", stressed)][0]
+                / table[(app, "Oracle", stressed)][0]
+                - 1
+            )
+            assert -0.01 < cpi_overhead < 0.04, (app, stressed)
+    # averages ordered: EXIST lowest, NHT highest (paper: 2.2 vs 20.8%)
+    assert avg["EXIST"] < avg["StaSam"]
+    assert avg["EXIST"] < avg["eBPF"]
+    assert avg["EXIST"] < avg["NHT"]
+    assert avg["NHT"] == max(avg.values())
+    assert avg["NHT"] > 4 * avg["EXIST"]
+    # EXIST under stress stays close to EXIST unstressed (per-mille
+    # control makes it stress-robust, §5.2 "Impact of System Stress")
+    for app in APPS:
+        low = table[(app, "EXIST", False)][0] / table[(app, "Oracle", False)][0] - 1
+        high = table[(app, "EXIST", True)][0] / table[(app, "Oracle", True)][0] - 1
+        assert abs(high - low) < 0.03, app

@@ -1,0 +1,90 @@
+"""Figure 16 — end-to-end 99% tail latency under tracing (§5.2).
+
+Paper: tracing Search1 with EXIST degrades end-to-end 99% response time
+by only 0.9-2.7% across loads, versus 3-11% (StaSam), 7-19%+ (eBPF) and
+19-59% (NHT) — single-point overheads amplify through the request chain.
+
+Pipeline: each scheme's *measured* node-level service inflation on
+Search1 (kernel simulator) feeds the queueing model of the Search1
+request chain (proxy → Search1 → ranker).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import run_online_throughput
+from repro.services.graph import ServiceGraph
+from repro.services.latency import QueueingSimulator
+from repro.services.loadgen import PoissonArrivals
+
+LOADS = {"1e2": 0.40, "1e3": 0.70, "1e4": 0.85}
+SCHEMES = ["Oracle", "EXIST", "StaSam", "eBPF", "NHT"]
+N_REQUESTS = 20_000
+
+
+def run_figure():
+    # step 1: measured node-level inflation of each scheme on Search1
+    throughput = run_online_throughput(
+        "Search1", schemes=SCHEMES, cpuset=[0, 1, 2, 3], seed=7, window_s=0.2
+    )
+    inflation = {
+        scheme: max(1.0, 1.0 / throughput[scheme]) for scheme in SCHEMES
+    }
+
+    # step 2: amplify through the request chain at each load level
+    p99 = {}
+    for label, utilization in LOADS.items():
+        for scheme in SCHEMES:
+            graph = ServiceGraph.search_pipeline()
+            graph.set_tracing_inflation("Search1", inflation[scheme])
+            sim = QueueingSimulator(graph, seed=23)
+            if scheme == "Oracle":
+                rate = sim.rate_for_utilization(utilization)
+                base_rate = rate
+            else:
+                rate = base_rate  # same offered load for every scheme
+            report = sim.run_open_loop(PoissonArrivals(rate, seed=1), N_REQUESTS)
+            p99[(label, scheme)] = report.percentile(99)
+    return inflation, p99
+
+
+def test_fig16_e2e_latency(benchmark):
+    inflation, p99 = once(benchmark, run_figure)
+
+    rows = []
+    for label in LOADS:
+        oracle = p99[(label, "Oracle")]
+        rows.append(
+            [f"Load={label}"]
+            + [f"{p99[(label, s)] / 1e6:.2f}ms" for s in SCHEMES]
+            + [f"+{p99[(label, s)] / oracle - 1:.1%}" for s in SCHEMES[1:]]
+        )
+    emit(format_table(
+        rows,
+        headers=["load"] + SCHEMES + [f"{s} slowdown" for s in SCHEMES[1:]],
+        title="Figure 16: end-to-end 99% tail latency (Search1 chain)",
+    ))
+    emit("measured node inflations: "
+         + ", ".join(f"{s}={inflation[s]:.4f}" for s in SCHEMES))
+
+    for label in LOADS:
+        oracle = p99[(label, "Oracle")]
+        exist = p99[(label, "EXIST")] / oracle - 1
+        nht = p99[(label, "NHT")] / oracle - 1
+        # EXIST's E2E effect stays small (paper: 0.9-2.7%; our queueing
+        # model amplifies a bit harder near saturation)
+        assert exist < 0.08, label
+        # NHT's is far larger, growing with load
+        assert nht > exist, label
+    # amplification grows with load for the heavy baselines
+    assert (
+        p99[("1e4", "NHT")] / p99[("1e4", "Oracle")]
+        > p99[("1e2", "NHT")] / p99[("1e2", "Oracle")]
+    )
+    # at high load NHT's single-service overhead inflates the tail >12%
+    assert p99[("1e4", "NHT")] / p99[("1e4", "Oracle")] - 1 > 0.12
+    # and EXIST beats every baseline at every load
+    for label in LOADS:
+        for baseline in ("StaSam", "eBPF", "NHT"):
+            assert p99[(label, "EXIST")] < p99[(label, baseline)], (label, baseline)

@@ -1,0 +1,83 @@
+"""Figure 18 + §5.3 — tracing accuracy of EXIST vs exhaustive NHT.
+
+Paper §5.3 (benchmarks, direct path matching): 87.4-95.1% on
+single-threaded SPEC apps (avg 90.2%), 62.2% on multi-threaded xz, and
+89-93% on online benchmarks.
+
+Figure 18 (real-world apps, Wall-style weight matching because
+long-running services cannot be aligned exactly): 83.7% / 82.6% / 86.2%
+average accuracy for 0.1 s / 0.5 s / 1 s tracing periods across
+Search1/Search2/Cache/Pred/Agent.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.accuracy import (
+    direct_accuracy_vs_nht,
+    weight_accuracy_vs_nht,
+)
+
+BENCHMARK_APPS = ["pb", "om", "de", "xz", "mc"]
+REALWORLD_APPS = ["Search1", "Search2", "Cache", "Pred", "Agent"]
+PERIODS_MS = (100, 500, 1000)
+
+
+def benchmark_accuracy(workload: str) -> float:
+    """Direct path matching on an identical execution (benchmarks)."""
+    return direct_accuracy_vs_nht(workload, seed=31)
+
+
+def realworld_accuracy(app: str, period_ms: int) -> float:
+    """Weight matching of EXIST vs NHT histograms (real-world apps)."""
+    return weight_accuracy_vs_nht(app, period_ms=period_ms, seed=31)
+
+
+def run_figure():
+    bench = {w: benchmark_accuracy(w) for w in BENCHMARK_APPS}
+    realworld = {
+        (app, period): realworld_accuracy(app, period)
+        for app in REALWORLD_APPS
+        for period in PERIODS_MS
+    }
+    return bench, realworld
+
+
+def test_fig18_accuracy_realworld(benchmark):
+    bench, realworld = once(benchmark, run_figure)
+
+    emit(format_table(
+        [[w, f"{a:.1%}"] for w, a in bench.items()],
+        headers=["benchmark", "accuracy (direct path matching)"],
+        title="§5.3: EXIST accuracy vs NHT on benchmarks",
+    ))
+    rows = [
+        [app] + [f"{realworld[(app, p)]:.1%}" for p in PERIODS_MS]
+        for app in REALWORLD_APPS
+    ]
+    averages = [
+        sum(realworld[(app, p)] for app in REALWORLD_APPS) / len(REALWORLD_APPS)
+        for p in PERIODS_MS
+    ]
+    rows.append(["Avg."] + [f"{a:.1%}" for a in averages])
+    emit(format_table(
+        rows, headers=["app", "0.1s", "0.5s", "1s"],
+        title="Figure 18: accuracy on real-world applications (weight matching)",
+    ))
+
+    # single-threaded benchmarks: high accuracy (paper: 87-95%)
+    for workload in ("pb", "om", "de"):
+        assert bench[workload] > 0.80, workload
+    # multi-threaded xz notably lower (paper: 62.2%)
+    assert bench["xz"] < min(bench[w] for w in ("pb", "om", "de"))
+    assert 0.40 < bench["xz"] < 0.90
+    # real-world weight-matching accuracy (paper: 83.7/82.6/86.2% for
+    # 0.1/0.5/1 s): short 0.1 s windows are noisiest in both systems
+    assert averages[0] > 0.65  # 0.1 s
+    assert averages[1] > 0.75  # 0.5 s
+    assert averages[2] > 0.75  # 1 s
+    # every app/period individually above 50% (the paper's worst cases
+    # come from periodic phase effects, e.g. Agent at 0.5 s)
+    for key, accuracy in realworld.items():
+        assert accuracy > 0.50, key

@@ -1,0 +1,88 @@
+"""Figure 21 — case study: costly-function profiles of five critical
+applications (§5.4).
+
+Paper: EXIST's decoded traces give execution-weighted shares of memory /
+synchronization / kernel functions.  Traditional apps (Search, Cache)
+match prior WSC profiling studies; the ML-based apps (Prediction,
+Matching, Recommend) show elevated KERNEL_IRQ and SYNC_MUTEX shares —
+heavily multi-threaded inference triggers rescheduling interrupts
+followed by mutex synchronization.
+
+The full pipeline runs: EXIST traces each app, segments are serialized to
+packets, decoded against the binary, and the reports are computed from
+the reconstruction.
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.casestudy import function_category_report
+from repro.analysis.reconstruct import reconstruct
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import run_traced_execution
+from repro.program.binary import FunctionCategory as FC
+
+APPS = {
+    "Search": "Search1",
+    "Cache": "Cache",
+    "Prediction": "Pred",
+    "Matching": "Matching",
+    "Recommend": "Recommend",
+}
+
+MEMORY_CATS = [FC.MEM_JE, FC.MEM_TC, FC.MEM_ALLOC, FC.MEM_FREE,
+               FC.MEM_COPY, FC.MEM_SET, FC.MEM_CMP, FC.MEM_MOVE]
+SYNC_CATS = [FC.SYNC_ATOMIC, FC.SYNC_SPINLOCK, FC.SYNC_MUTEX, FC.SYNC_CAS]
+KERNEL_CATS = [FC.KERNEL_SCHE, FC.KERNEL_IRQ, FC.KERNEL_NET]
+
+
+def run_figure():
+    reports = {}
+    for label, workload in APPS.items():
+        run = run_traced_execution(workload, "EXIST", seed=41, window_s=0.3)
+        result = reconstruct(run.artifacts.segments, [run.target])
+        reports[label] = function_category_report(
+            label, result.decoded, run.target.binary
+        )
+    return reports
+
+
+def test_fig21_function_categories(benchmark):
+    reports = once(benchmark, run_figure)
+
+    for panel, cats in (("(a) Memory", MEMORY_CATS), ("(b) Sync", SYNC_CATS),
+                        ("(c) Kernel", KERNEL_CATS)):
+        rows = [
+            [app] + [f"{reports[app].category_share(c):.0%}" for c in cats]
+            for app in APPS
+        ]
+        emit(format_table(
+            rows, headers=["app"] + [c.value for c in cats],
+            title=f"Figure 21 {panel}: within-family function shares",
+        ))
+
+    # every report is well-formed: family shares sum to 1
+    for app, report in reports.items():
+        assert abs(sum(report.family_shares.values()) - 1.0) < 1e-6, app
+        for family in ("memory", "sync", "kernel"):
+            assert report.family_share(family) > 0.02, (app, family)
+
+    # the ML apps are KERNEL_IRQ- and SYNC_MUTEX-heavier than Search/Cache
+    for ml_app in ("Prediction", "Matching", "Recommend"):
+        for traditional in ("Search", "Cache"):
+            assert (
+                reports[ml_app].category_share(FC.KERNEL_IRQ)
+                > reports[traditional].category_share(FC.KERNEL_IRQ) * 0.9
+            ), (ml_app, traditional)
+    assert (
+        reports["Recommend"].category_share(FC.SYNC_MUTEX)
+        > reports["Search"].category_share(FC.SYNC_MUTEX)
+    )
+    assert (
+        reports["Recommend"].category_share(FC.KERNEL_IRQ)
+        > reports["Cache"].category_share(FC.KERNEL_IRQ)
+    )
+    # Cache is the most memory-dominated app overall
+    assert reports["Cache"].family_share("memory") == max(
+        reports[app].family_share("memory") for app in APPS
+    )

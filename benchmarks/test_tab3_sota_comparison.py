@@ -1,0 +1,78 @@
+"""Table 3 — time-efficiency comparison with SOTA results.
+
+Paper: EXIST achieves 0.9% average / 1.5% worst on compute benchmarks and
+1.1% / 1.6% on online benchmarks, beating the hardware-tracing-based and
+most instrumentation-based systems (whose numbers come from their papers
+— reproduced here as literature constants, exactly as the paper does,
+since those systems are not publicly reproducible).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import (
+    run_compute_slowdown,
+    run_online_throughput,
+)
+
+#: published average/worst overheads (paper Table 3), literature constants
+SOTA = {
+    "REPT (hw, online)": (0.0535, 0.0968),
+    "FlowGuard (hw, compute)": (0.0379, 0.30),
+    "Upgradvisor (hw, compute)": (0.064, 0.16),
+    "JPortal (hw, online)": (0.113, 0.165),
+    "Log20 (instr, online)": (-0.002, 0.009),
+    "Hubble (instr, compute)": (0.05, 0.25),
+    "DMon (instr, online)": (0.0136, 0.0492),
+    "Argus (instr, online)": (0.0336, 0.05),
+}
+
+COMPUTE_SAMPLE = ["pb", "om", "x264", "de", "xz"]
+ONLINE_SAMPLE = ["mc", "ng", "ms"]
+
+
+def run_table():
+    compute = []
+    for workload in COMPUTE_SAMPLE:
+        result = run_compute_slowdown(
+            workload, schemes=["Oracle", "EXIST"], cpuset=[0, 1, 2, 3], seed=7
+        )
+        compute.append(result["EXIST"] - 1)
+    online = []
+    for workload in ONLINE_SAMPLE:
+        result = run_online_throughput(
+            workload, schemes=["Oracle", "EXIST"], cpuset=[0, 1, 2, 3],
+            seed=7, window_s=0.2,
+        )
+        online.append(1 - result["EXIST"])
+    return compute, online
+
+
+def test_tab3_sota_comparison(benchmark):
+    compute, online = once(benchmark, run_table)
+
+    exist_compute = (sum(compute) / len(compute), max(compute))
+    exist_online = (sum(online) / len(online), max(online))
+    rows = [
+        [name, f"{avg:.2%}", f"{worst:.2%}"] for name, (avg, worst) in SOTA.items()
+    ]
+    rows.append(["EXIST, compute", f"{exist_compute[0]:.2%}", f"{exist_compute[1]:.2%}"])
+    rows.append(["EXIST, online", f"{exist_online[0]:.2%}", f"{exist_online[1]:.2%}"])
+    emit(format_table(rows, headers=["scheme", "average", "worst"],
+                      title="Table 3: overhead vs SOTA (literature constants + measured EXIST)"))
+
+    # paper shape: EXIST average ~0.9-1.1%, worst under 2%
+    assert exist_compute[0] < 0.015
+    assert exist_compute[1] < 0.02
+    assert exist_online[0] < 0.02
+    assert exist_online[1] < 0.025
+    # beats every hardware-tracing-based SOTA average
+    for name in ("REPT (hw, online)", "FlowGuard (hw, compute)",
+                 "Upgradvisor (hw, compute)", "JPortal (hw, online)"):
+        assert exist_compute[0] < SOTA[name][0]
+        assert exist_online[0] < SOTA[name][0]
+    # beats most instrumentation-based systems (Log20 is the exception,
+    # by design: it deletes logs to stay under a user-set threshold)
+    assert exist_compute[0] < SOTA["Hubble (instr, compute)"][0]
+    assert exist_online[0] < SOTA["Argus (instr, online)"][0]

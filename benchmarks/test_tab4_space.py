@@ -1,0 +1,77 @@
+"""Table 4 — space efficiency (MB) of each scheme, 0.5 s trace window.
+
+Paper (4 threads/cores, 0.5 s): StaSam ~4-32 MB (samples only), eBPF
+~0.1-0.2 MB (sys_enter events only), NHT 48-75 MB on single-threaded
+compute and up to ~1.2 GB on multi-threaded xz, EXIST capped below NHT by
+the UMA buffer budget (~55 MB compute, ~456 MB xz).
+"""
+
+import pytest
+
+from conftest import emit, once
+from repro.analysis.tables import format_table
+from repro.core.exist import ExistScheme
+from repro.experiments.scenarios import make_scheme
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.util.units import MIB, MSEC, SEC
+
+WORKLOADS = ["pb", "gcc", "mcf", "om", "xa", "x264", "de", "le", "ex", "xz",
+             "mc", "ng", "ms"]
+SCHEMES = ["StaSam", "eBPF", "NHT", "EXIST"]
+WINDOW = 500 * MSEC
+
+
+def measure_space(workload: str, scheme_name: str) -> float:
+    system = KernelSystem(SystemConfig.small_node(8, seed=7))
+    target = get_workload(workload).spawn(system, cpuset=[0, 1, 2, 3], seed=7)
+    if scheme_name == "EXIST":
+        scheme = ExistScheme(period_ns=WINDOW, continuous=False)
+    else:
+        scheme = make_scheme(scheme_name)
+    scheme.install(system, [target])
+    system.run_for(WINDOW)
+    return scheme.artifacts().space_bytes
+
+
+def run_table():
+    return {
+        workload: {name: measure_space(workload, name) for name in SCHEMES}
+        for workload in WORKLOADS
+    }
+
+
+def test_tab4_space(benchmark):
+    table = once(benchmark, run_table)
+
+    rows = [
+        [scheme] + [f"{table[w][scheme] / MIB:.1f}" for w in WORKLOADS]
+        for scheme in SCHEMES
+    ]
+    emit(format_table(rows, headers=["scheme"] + WORKLOADS,
+                      title="Table 4: space efficiency (MiB, 0.5 s window)"))
+
+    compute = WORKLOADS[:10]
+    for workload in WORKLOADS:
+        row = table[workload]
+        # eBPF's syscall log is tiny; StaSam's sample file small
+        assert row["eBPF"] < 4 * MIB, workload
+        assert row["StaSam"] < 40 * MIB, workload
+        # chronological hardware tracing needs real volume
+        assert row["NHT"] > 10 * MIB, workload
+        # EXIST's compulsory buffers bound it by the session budget
+        assert row["EXIST"] <= 256 * MIB * 1.01, workload
+    for workload in compute:
+        # ...and at or below NHT on compute jobs (online apps complete
+        # slightly *more* work under EXIST's lower overhead in the fixed
+        # window, so their volume can exceed the slowed-down NHT's)
+        assert table[workload]["EXIST"] <= table[workload]["NHT"] * 1.1, workload
+
+    # single-threaded compute in the tens of MB (paper: 48-75 MB)
+    for workload in ("pb", "om", "x264"):
+        assert 20 * MIB < table[workload]["NHT"] < 150 * MIB, workload
+    # multi-threaded xz dominates everything (paper: ~1.2 GB NHT)
+    assert table["xz"]["NHT"] == max(table[w]["NHT"] for w in WORKLOADS)
+    assert table["xz"]["NHT"] > 300 * MIB
+    # EXIST's session budget caps xz far below NHT (paper: 456 vs 1173 MB)
+    assert table["xz"]["EXIST"] < 0.8 * table["xz"]["NHT"]

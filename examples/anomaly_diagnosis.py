@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Case study: diagnosing a performance anomaly with EXIST (§5.4).
+
+Reproduces the paper's Recommend diagnosis: the service shows abnormal
+response times and thread counts; metrics alone can't explain why.  EXIST
+traces it, and joining the syscall timeline with EXIST's context-switch
+five-tuples reveals synchronous log writes (``file_write``) blocking on
+disk I/O — and the mutex convoy (``futex_wait``) they cause behind them.
+
+Run:  python examples/anomaly_diagnosis.py
+"""
+
+from repro import EbpfScheme, ExistScheme, KernelSystem, SystemConfig, get_workload
+from repro.analysis.casestudy import find_blocking_anomalies
+from repro.util.units import MSEC, USEC, fmt_time
+
+
+def main() -> None:
+    # the Recommend service: heavily multi-threaded ML inference whose
+    # profile includes a synchronous logging path (file_write)
+    system = KernelSystem(SystemConfig.small_node(8, seed=13))
+    workload = get_workload("Recommend")
+    target = workload.spawn(system, seed=13)
+    print(f"target: {workload.name} — {workload.description}")
+    print(f"threads: {len(target.threads)}")
+
+    # observe with EXIST (chronological traces + sched five-tuples); the
+    # syscall timeline here comes from a sys_enter probe, standing in for
+    # mapping decoded trace locations to the syscall wrappers
+    exist = ExistScheme(period_ns=400 * MSEC, continuous=True)
+    syscalls = EbpfScheme()
+    exist.install(system, [target])
+    syscalls.install(system, [target])
+    system.run_for(400 * MSEC)
+
+    exist_artifacts = exist.artifacts()
+    syscall_log = syscalls.artifacts().syscall_log
+    print(f"\ncaptured {len(exist_artifacts.segments)} trace segments, "
+          f"{len(exist_artifacts.sched_records)} sched records, "
+          f"{len(syscall_log)} syscalls")
+
+    # the diagnosis: which syscalls blocked their thread the longest?
+    anomalies = find_blocking_anomalies(
+        syscall_log, exist_artifacts.sched_records, min_block_ns=250 * USEC
+    )
+    print(f"\n{len(anomalies)} blocking anomalies above 250us:")
+    by_name: dict = {}
+    for anomaly in anomalies:
+        by_name.setdefault(anomaly.syscall, []).append(anomaly.blocked_ns)
+    for name, blocks in sorted(by_name.items(), key=lambda kv: -max(kv[1])):
+        print(f"  {name:12s} x{len(blocks):4d}  worst {fmt_time(max(blocks))} "
+              f"  total {fmt_time(sum(blocks))}")
+
+    worst = anomalies[0]
+    print(f"\nculprit: tid {worst.tid} blocked {fmt_time(worst.blocked_ns)} "
+          f"in '{worst.syscall}'")
+    if worst.syscall == "file_write" or "file_write" in by_name:
+        print("diagnosis: a synchronous logging thread blocks on disk I/O,")
+        print("holding the log mutex — co-located threads pile up in "
+              "futex_wait,")
+        print("inflating response times and the thread count "
+              "(the paper's §5.4 finding).")
+    print("\nfix candidates: asynchronous logging, or isolating the disks "
+          "of similar applications.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Regenerate a selection of the paper's headline figures, quickly.
+
+A fast tour of what `pytest benchmarks/ --benchmark-only` reproduces in
+full: Figure 13 (compute slowdowns) on three representative apps,
+Figure 14 (online throughput) on memcached, and the Figure 6 abstraction
+trade-off table — about a minute of wall time.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import (
+    SCHEME_ORDER,
+    run_compute_slowdown,
+    run_online_throughput,
+    run_traced_execution,
+)
+from repro.util.units import MIB
+
+
+def figure13_excerpt() -> None:
+    workloads = ["om", "x264", "xz"]
+    rows = []
+    for workload in workloads:
+        slowdowns = run_compute_slowdown(workload, cpuset=[0, 1, 2, 3])
+        rows.append(
+            [workload] + [f"{slowdowns[s]:.4f}" for s in SCHEME_ORDER]
+        )
+    print(format_table(
+        rows, headers=["app"] + list(SCHEME_ORDER),
+        title="Figure 13 (excerpt): normalized execution-time slowdown",
+    ))
+    print("paper: EXIST 0.4-1.5%; StaSam/eBPF/NHT 3.5x/4.4x/6.6x worse\n")
+
+
+def figure14_excerpt() -> None:
+    throughput = run_online_throughput("mc", cpuset=[0, 1, 2, 3], window_s=0.2)
+    rows = [[s, f"{throughput[s]:.4f}"] for s in SCHEME_ORDER]
+    print(format_table(
+        rows, headers=["scheme", "normalized throughput"],
+        title="Figure 14 (memcached): throughput under tracing",
+    ))
+    print("paper: EXIST ~1.1% loss; NHT ~12x worse\n")
+
+
+def figure6_table() -> None:
+    oracle = run_traced_execution(
+        "mc", "Oracle", cpuset=[0, 1, 2, 3], seed=9, window_s=0.25
+    )
+    rows = []
+    for name in ("REPT", "Griffin", "NHT", "EXIST"):
+        run = run_traced_execution(
+            "mc", name, cpuset=[0, 1, 2, 3], seed=9, window_s=0.25
+        )
+        rows.append([
+            name,
+            f"{1 - run.throughput_rps / oracle.throughput_rps:.2%}",
+            f"{run.artifacts.space_bytes / MIB:.1f} MiB",
+            run.artifacts.ledger.count("wrmsr"),
+        ])
+    print(format_table(
+        rows, headers=["abstraction", "time overhead", "space", "WRMSRs"],
+        title="Figure 6: hardware-tracing abstraction trade-offs",
+    ))
+    print("paper: debugging/security/tracing abstractions all sacrifice a "
+          "dimension;\nEXIST optimizes the trade-off (time first)")
+
+
+def main() -> None:
+    figure13_excerpt()
+    figure14_excerpt()
+    figure6_table()
+
+
+if __name__ == "__main__":
+    main()

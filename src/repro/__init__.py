@@ -1,0 +1,60 @@
+"""EXIST reproduction: extremely efficient intra-service tracing.
+
+A full-system Python reproduction of *EXIST: Enabling Extremely Efficient
+Intra-Service Tracing Observability in Datacenters* (ASPLOS 2025) on a
+simulated datacenter substrate.  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured record.
+
+Quick start::
+
+    from repro import run_compute_slowdown
+    slowdowns = run_compute_slowdown("om", cpuset=[0, 1, 2, 3])
+    assert slowdowns["EXIST"] < slowdowns["NHT"]
+
+Package map:
+
+* :mod:`repro.core` — EXIST itself (OTC / UMA / RCO, facility, scheme);
+* :mod:`repro.tracing` — the Table 2 baselines (Oracle/StaSam/eBPF/NHT);
+* :mod:`repro.hwtrace` — the simulated Intel PT substrate;
+* :mod:`repro.kernel` — the discrete-event OS/node simulator;
+* :mod:`repro.program` — synthetic binaries and the workload library;
+* :mod:`repro.cluster` — Kubernetes-style orchestration and storage;
+* :mod:`repro.services` — microservice queueing for end-to-end latency;
+* :mod:`repro.analysis` — decoding, accuracy metrics, case studies;
+* :mod:`repro.experiments` — scenario harnesses used by ``benchmarks/``.
+"""
+
+from repro.core import ExistConfig, ExistScheme, TraceReason, TracingRequest
+from repro.core.facility import ExistFacility
+from repro.experiments import (
+    run_compute_slowdown,
+    run_online_throughput,
+    run_traced_execution,
+    make_scheme,
+)
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import WORKLOADS, get_workload
+from repro.tracing import EbpfScheme, NhtScheme, OracleScheme, StaSamScheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExistConfig",
+    "ExistScheme",
+    "ExistFacility",
+    "TraceReason",
+    "TracingRequest",
+    "run_compute_slowdown",
+    "run_online_throughput",
+    "run_traced_execution",
+    "make_scheme",
+    "KernelSystem",
+    "SystemConfig",
+    "WORKLOADS",
+    "get_workload",
+    "OracleScheme",
+    "StaSamScheme",
+    "EbpfScheme",
+    "NhtScheme",
+    "__version__",
+]

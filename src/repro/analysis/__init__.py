@@ -1,0 +1,68 @@
+"""Trace analysis: reconstruction, accuracy metrics, and case studies.
+
+The downstream half of the pipeline: captured segments are serialized and
+decoded back through the software decoder
+(:mod:`repro.analysis.reconstruct`), compared against the exhaustive NHT
+reference with the paper's two accuracy metrics
+(:mod:`repro.analysis.accuracy`), and summarized into the §5.4 case-study
+reports (:mod:`repro.analysis.casestudy`).  :mod:`repro.analysis.tables`
+renders the paper-style text tables the benchmarks print.
+"""
+
+from repro.analysis.reconstruct import (
+    reconstruct,
+    ReconstructionResult,
+    thread_labels,
+    coverage_by_thread,
+)
+from repro.analysis.accuracy import (
+    direct_path_accuracy,
+    weight_matching_accuracy,
+    function_histogram_from_segments,
+    pairwise_trace_similarity,
+)
+from repro.analysis.casestudy import (
+    function_category_report,
+    memory_width_report,
+    find_blocking_anomalies,
+    CategoryReport,
+    WidthReport,
+    BlockingAnomaly,
+)
+from repro.analysis.tables import format_table, format_percent
+from repro.analysis.export import to_chrome_trace, to_folded_stacks
+from repro.analysis.metrics import IpcSample, detect_ipc_anomalies, ipc_timeline
+from repro.analysis.optimize import (
+    Optimization,
+    evaluate_optimization,
+    propose_optimizations,
+)
+from repro.analysis.report import build_session_report
+
+__all__ = [
+    "reconstruct",
+    "ReconstructionResult",
+    "thread_labels",
+    "coverage_by_thread",
+    "direct_path_accuracy",
+    "weight_matching_accuracy",
+    "function_histogram_from_segments",
+    "pairwise_trace_similarity",
+    "function_category_report",
+    "memory_width_report",
+    "find_blocking_anomalies",
+    "CategoryReport",
+    "WidthReport",
+    "BlockingAnomaly",
+    "format_table",
+    "format_percent",
+    "to_chrome_trace",
+    "to_folded_stacks",
+    "IpcSample",
+    "detect_ipc_anomalies",
+    "ipc_timeline",
+    "Optimization",
+    "evaluate_optimization",
+    "propose_optimizations",
+    "build_session_report",
+]

@@ -1,0 +1,109 @@
+"""Accuracy metrics (paper §5.3).
+
+Two metrics, matching the paper's two settings:
+
+* :func:`direct_path_accuracy` — benchmarks: identical executions across
+  runs make the exact comparison possible.  Accuracy is the fraction of
+  the reference (NHT) execution path that the tested scheme also
+  captured, computed per thread over symbolic-event coverage intervals
+  and weighted by reference length.
+* :func:`weight_matching_accuracy` — long-running cloud applications:
+  Wall-style weight matching, ``(maxerror - error) / maxerror`` where
+  ``error`` is the summed normalized function-occurrence difference
+  between the two reconstructions (max 2 when completely disjoint).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.rco import (
+    Interval,
+    interval_intersection,
+    interval_length,
+)
+from repro.hwtrace.tracer import TraceSegment
+from repro.util.stats import normalized_l1_distance
+
+
+def direct_path_accuracy(
+    reference: Mapping[str, Sequence[Interval]],
+    tested: Mapping[str, Sequence[Interval]],
+) -> float:
+    """Fraction of the reference path the tested scheme captured (0..1).
+
+    Both arguments map thread labels to captured event intervals (see
+    :func:`repro.analysis.reconstruct.coverage_by_thread`).  Threads the
+    tested scheme never saw contribute zero over their full reference
+    weight, so missing a whole thread is penalized, not ignored.
+    """
+    total_ref = 0
+    total_matched = 0
+    for label, ref_intervals in reference.items():
+        ref_len = interval_length(ref_intervals)
+        if ref_len == 0:
+            continue
+        total_ref += ref_len
+        test_intervals = tested.get(label, ())
+        matched = interval_length(
+            interval_intersection(list(ref_intervals), list(test_intervals))
+        )
+        total_matched += matched
+    if total_ref == 0:
+        raise ValueError("reference trace is empty")
+    return total_matched / total_ref
+
+
+def weight_matching_accuracy(
+    reference_histogram: Mapping[object, float],
+    tested_histogram: Mapping[object, float],
+) -> float:
+    """Wall-style weight matching accuracy: (maxerror - error)/maxerror."""
+    max_error = 2.0
+    error = normalized_l1_distance(reference_histogram, tested_histogram)
+    return max(0.0, (max_error - error) / max_error)
+
+
+def function_histogram_from_segments(
+    segments: Sequence[TraceSegment],
+) -> Dict[int, float]:
+    """Instruction-weighted function histogram over captured segments.
+
+    Aggregates through the path model's range queries (fast path used by
+    large experiments; the decode-based path in
+    :mod:`repro.analysis.reconstruct` is equivalent and cross-checked in
+    tests).  Function ids are namespaced per binary via the segment's
+    path model, so only aggregate same-application segments.
+    """
+    histogram: Dict[int, float] = defaultdict(float)
+    for segment in segments:
+        if segment.captured_event_end <= segment.event_start:
+            continue
+        partial = segment.path_model.function_histogram(
+            segment.event_start, segment.captured_event_end
+        )
+        for fid, weight in partial.items():
+            histogram[fid] += weight
+    return dict(histogram)
+
+
+def pairwise_trace_similarity(
+    histograms: Sequence[Mapping[object, float]],
+) -> float:
+    """Mean pairwise weight-matching similarity among repetition traces.
+
+    The Figure 12 "trace similarity" series: how alike the traces from
+    different repetitions of the same application are (high without
+    anomalies, which is why tracing every repetition is wasteful).
+    """
+    n = len(histograms)
+    if n < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += weight_matching_accuracy(histograms[i], histograms[j])
+            pairs += 1
+    return total / pairs

@@ -1,0 +1,136 @@
+"""Trace exporters: Chrome trace-event JSON, folded stacks, perf script.
+
+The paper's data flow ends in "human-readable application traces" for
+on-call engineers (§3.1).  Two concrete renderings:
+
+* :func:`to_chrome_trace` — the Chrome/Perfetto trace-event format
+  (``chrome://tracing`` / ui.perfetto.dev): per-thread tracks of function
+  activity from the decoded records plus instant events for the
+  scheduling five-tuples;
+* :func:`to_folded_stacks` — Brendan Gregg's folded-stack text (the
+  flamegraph input format), one line per function with sample counts;
+* :func:`to_perf_script` — ``perf script``-style text lines, the format
+  kernel engineers already read.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.hwtrace.decoder import DecodedTrace
+from repro.program.binary import Binary
+
+
+def to_chrome_trace(
+    decoded: DecodedTrace,
+    binary: Binary,
+    sched_records: Sequence[Tuple[int, int, int, int, str]] = (),
+    process_name: str = "traced-app",
+) -> str:
+    """Render a decoded trace as Chrome trace-event JSON.
+
+    Consecutive records of the same function on the same timestamp track
+    merge into one duration ("X") event; scheduling five-tuples become
+    instant ("i") events on the CPU rows.  Timestamps are microseconds as
+    the format requires.
+    """
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    # group records into per-timestamp function runs; each segment's
+    # records share one TSC timestamp, so runs within it are ordered
+    runs: List[Tuple[int, int, int]] = []  # (timestamp, function_id, count)
+    for record in decoded.records:
+        if (
+            runs
+            and runs[-1][0] == record.timestamp
+            and runs[-1][1] == record.function_id
+        ):
+            timestamp, function_id, count = runs[-1]
+            runs[-1] = (timestamp, function_id, count + 1)
+        else:
+            runs.append((record.timestamp, record.function_id, 1))
+
+    for timestamp, function_id, count in runs:
+        events.append({
+            "name": binary.functions[function_id].name,
+            "cat": binary.functions[function_id].category.value,
+            "ph": "X",
+            "pid": 1,
+            "tid": 1,
+            "ts": timestamp / 1000.0,  # ns -> us
+            "dur": max(count * 0.05, 0.05),  # symbolic width per event
+            "args": {"events": count},
+        })
+
+    for timestamp, cpu, pid, tid, operation in sched_records:
+        events.append({
+            "name": operation,
+            "cat": "sched",
+            "ph": "i",
+            "s": "t",
+            "pid": 1,
+            "tid": 1000 + cpu,
+            "ts": timestamp / 1000.0,
+            "args": {"pid": pid, "tid": tid, "cpu": cpu},
+        })
+
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+
+
+def to_folded_stacks(
+    decoded: DecodedTrace,
+    binary: Binary,
+    weight_by_instructions: bool = True,
+) -> str:
+    """Render as folded stacks (flamegraph input): ``app;func count``.
+
+    The symbolic trace carries function-level (not call-stack) detail, so
+    stacks are two deep: the binary name as root, the function as leaf —
+    enough for ``flamegraph.pl`` to draw the profile the paper's Figure 21
+    summarizes.
+    """
+    weights: Dict[int, float] = defaultdict(float)
+    for record in decoded.records:
+        block = binary.blocks[record.block_id]
+        weights[record.function_id] += (
+            block.n_instructions if weight_by_instructions else 1
+        )
+    lines = []
+    for function_id in sorted(weights, key=lambda f: -weights[f]):
+        name = binary.functions[function_id].name.replace(";", "_")
+        lines.append(f"{binary.name};{name} {int(round(weights[function_id]))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_perf_script(
+    decoded: DecodedTrace,
+    binary: Binary,
+    comm: str = "traced-app",
+    pid: int = 1,
+    limit: Optional[int] = None,
+) -> str:
+    """Render decoded records as ``perf script``-style lines::
+
+        traced-app  1 [000] 12.345678:  branches:  401000 app::func_3
+    """
+    lines = []
+    records = decoded.records if limit is None else decoded.records[:limit]
+    for record in records:
+        seconds = record.timestamp / 1e9
+        block = binary.blocks[record.block_id]
+        name = binary.functions[record.function_id].name
+        lines.append(
+            f"{comm:>16s} {pid:6d} [000] {seconds:12.6f}: "
+            f"branches: {block.address:12x} {name}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,78 @@
+"""Execution-flow reconstruction from captured trace artifacts.
+
+Runs the genuine pipeline end to end: segments → packet bytes
+(:func:`repro.hwtrace.decoder.encode_trace`) → software decode →
+:class:`ReconstructionResult`, plus the thread-identity helpers accuracy
+comparisons need.
+
+Thread identity across runs: tids are fresh per simulation, but a
+workload's threads are created in a fixed order with stable names
+(``<app>/<index>``), so cross-run comparisons key on those labels.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.rco import Interval, merge_intervals
+from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace
+from repro.hwtrace.tracer import TraceSegment
+from repro.kernel.task import Process
+from repro.program.binary import Binary
+
+
+def thread_labels(process: Process) -> Dict[int, str]:
+    """tid -> stable thread label for cross-run identification."""
+    return {thread.tid: thread.name for thread in process.threads}
+
+
+def coverage_by_thread(
+    segments: Sequence[TraceSegment],
+    labels: Mapping[int, str],
+) -> Dict[str, List[Interval]]:
+    """Captured symbolic-event intervals per thread label."""
+    coverage: Dict[str, List[Interval]] = defaultdict(list)
+    for segment in segments:
+        label = labels.get(segment.tid)
+        if label is None:
+            continue
+        if segment.captured_event_end > segment.event_start:
+            coverage[label].append(
+                (segment.event_start, segment.captured_event_end)
+            )
+    return {label: merge_intervals(ivs) for label, ivs in coverage.items()}
+
+
+@dataclass
+class ReconstructionResult:
+    """Decoded execution flow plus bookkeeping."""
+
+    decoded: DecodedTrace
+    #: bytes of the serialized packet stream that was decoded
+    stream_bytes: int
+    #: segments that went into the stream
+    n_segments: int
+
+    def function_histogram(self, binary: Binary) -> Dict[str, int]:
+        """Function-name histogram of the reconstruction."""
+        by_id = self.decoded.function_histogram()
+        return {
+            binary.functions[fid].name: count for fid, count in by_id.items()
+        }
+
+
+def reconstruct(
+    segments: Sequence[TraceSegment],
+    processes: Sequence[Process],
+) -> ReconstructionResult:
+    """Serialize ``segments`` and decode them against process binaries."""
+    stream = encode_trace(list(segments))
+    decoder = SoftwareDecoder.for_processes(processes)
+    decoded = decoder.decode(stream)
+    return ReconstructionResult(
+        decoded=decoded,
+        stream_bytes=len(stream),
+        n_segments=len(segments),
+    )

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The configuration-interface face of the reproduction (the paper's
+"easy-to-use interface" through which developers and engineers trigger
+tracing, §3.1/§4), plus inspection commands for the workload library and
+scheme comparisons.
+
+Commands:
+
+* ``workloads`` — list the Table 1 workload library;
+* ``trace``     — run one EXIST session against a workload and summarize
+  what was captured (optionally decode the hottest functions);
+* ``compare``   — run several schemes on one workload and print the
+  overhead/space comparison;
+* ``cluster``   — deploy an app on a small cluster and reconcile a
+  TraceTask CRD through the full control/data flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reconstruct import reconstruct
+from repro.analysis.tables import format_table
+from repro.experiments.scenarios import (
+    SCHEME_FACTORIES,
+    SCHEME_ORDER,
+    run_traced_execution,
+)
+from repro.program.workloads import WORKLOADS, get_workload
+from repro.util.units import MIB, MSEC, fmt_bytes, fmt_time
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name, profile in sorted(WORKLOADS.items(), key=lambda kv: kv[0].lower()):
+        rows.append([
+            name,
+            profile.kind.value,
+            profile.n_threads,
+            profile.provisioning.value,
+            profile.description,
+        ])
+    print(format_table(
+        rows,
+        headers=["name", "kind", "threads", "provisioning", "description"],
+        title="Workload library (paper Table 1)",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.exist import ExistScheme
+    from repro.kernel.system import KernelSystem, SystemConfig
+    from repro.util.units import SEC
+
+    profile = get_workload(args.workload)
+    system = KernelSystem(SystemConfig.small_node(args.cores, seed=args.seed))
+    cpuset = list(range(min(4, args.cores)))
+    target = profile.spawn(system, cpuset=cpuset, seed=args.seed)
+    scheme = ExistScheme(period_ns=args.period_ms * MSEC, continuous=False)
+    scheme.install(system, [target])
+    if profile.kind.value == "compute":
+        system.run_until_done([target], deadline_ns=30 * SEC)
+    else:
+        system.run_for((args.period_ms + 100) * MSEC)
+    artifacts = scheme.artifacts()
+
+    assert scheme.facility is not None and scheme.facility.completed
+    session = scheme.facility.completed[0].session
+    ops = scheme.facility.otc.session_msr_operations(session)
+    print(f"traced {profile.name} for {fmt_time(session.period_ns)}")
+    print(f"  segments:       {len(artifacts.segments)}")
+    print(f"  trace volume:   {fmt_bytes(int(artifacts.space_bytes))}")
+    print(f"  sched records:  {len(artifacts.sched_records)}")
+    print(f"  MSR operations: {ops} "
+          f"(vs {system.scheduler.total_context_switches} context switches)")
+
+    if args.report:
+        from repro.analysis.report import build_session_report
+
+        print()
+        print(build_session_report(artifacts, target))
+    elif args.top:
+        result = reconstruct(artifacts.segments, [target])
+        histogram = result.function_histogram(target.binary)
+        rows = sorted(histogram.items(), key=lambda kv: -kv[1])[: args.top]
+        print(format_table(
+            [[name, count] for name, count in rows],
+            headers=["function", "occurrences"],
+            title=f"top {args.top} functions "
+                  f"({len(result.decoded)} decoded block executions)",
+        ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    profile = get_workload(args.workload)
+    rows = []
+    baseline = None
+    for name in args.schemes:
+        run = run_traced_execution(
+            args.workload, name, cpuset=[0, 1, 2, 3], seed=args.seed,
+            window_s=args.window_s,
+        )
+        metric = (
+            run.throughput_rps
+            if run.throughput_rps is not None
+            else 1e9 / run.completion_ns
+        )
+        if baseline is None:
+            baseline = metric
+        rows.append([
+            name,
+            f"{(baseline - metric) / baseline:.2%}",
+            run.artifacts.ledger.count("wrmsr"),
+            f"{run.artifacts.space_bytes / MIB:.1f} MiB",
+        ])
+    print(format_table(
+        rows,
+        headers=["scheme", "overhead", "WRMSRs", "trace space"],
+        title=f"scheme comparison on {profile.name} — {profile.description}",
+    ))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterMaster, ClusterNode, TraceTaskSpec
+    from repro.core.config import TraceReason
+
+    master = ClusterMaster(seed=args.seed)
+    for index in range(args.nodes):
+        master.add_node(ClusterNode(f"node-{index:02d}", seed=index))
+    master.deploy(args.app, replicas=args.replicas)
+    task = master.submit(TraceTaskSpec(
+        app=args.app,
+        reason=TraceReason(args.reason),
+        period_ns=args.period_ms * MSEC,
+    ))
+    master.reconcile(task)
+    print(f"task {task.name}: {task.status.phase.value}")
+    print(f"  repetitions traced: {task.status.sessions_completed}/{args.replicas}")
+    print(f"  period:             {fmt_time(task.status.period_ns)}")
+    print(f"  captured:           {fmt_bytes(int(task.status.bytes_captured))}")
+    print(f"  object-store keys:  {len(task.status.trace_keys)}")
+    rows = master.sessions_for(task)
+    print(format_table(
+        [[r["pod"], r["node"], r["records"], r["functions"]] for r in rows],
+        headers=["pod", "node", "decoded records", "functions"],
+        title="structured-store rows",
+    ))
+    footprint = master.management_footprint()
+    print(f"management pod: {footprint.cpu_cores:.1e} cores, "
+          f"{footprint.memory_mb:.0f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EXIST reproduction — simulated intra-service tracing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload library")
+
+    trace = sub.add_parser("trace", help="run one EXIST session")
+    trace.add_argument("workload", choices=sorted(WORKLOADS))
+    trace.add_argument("--period-ms", type=int, default=500)
+    trace.add_argument("--cores", type=int, default=8)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--top", type=int, default=5,
+                       help="decode and show the N hottest functions (0=off)")
+    trace.add_argument("--report", action="store_true",
+                       help="print the full markdown session report")
+
+    compare = sub.add_parser("compare", help="compare tracing schemes")
+    compare.add_argument("workload", choices=sorted(WORKLOADS))
+    compare.add_argument(
+        "--schemes", nargs="+", default=list(SCHEME_ORDER),
+        choices=sorted(SCHEME_FACTORIES),
+    )
+    compare.add_argument("--window-s", type=float, default=0.2)
+    compare.add_argument("--seed", type=int, default=7)
+
+    cluster = sub.add_parser("cluster", help="reconcile a TraceTask CRD")
+    cluster.add_argument("--app", default="Search1", choices=sorted(WORKLOADS))
+    cluster.add_argument("--nodes", type=int, default=3)
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--period-ms", type=int, default=150)
+    cluster.add_argument(
+        "--reason", default="anomaly", choices=["anomaly", "profiling", "user"]
+    )
+    cluster.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "trace": _cmd_trace,
+    "compare": _cmd_compare,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Cluster-wide periodic profiling campaigns.
+
+The paper's profiling use case (§3.4): continuous, cluster-wide software
+profiles built from sampled repetitions over time — "for software
+profiling demanding extended coverage, we can utilize multiple trace
+repetitions in the datacenter to obtain the complete profile".  A
+:class:`ProfilingCampaign` drives that: on every tick it submits
+profiling TraceTasks for the apps whose turn has come, under a
+core-second budget per round, and accumulates the merged coverage of
+each app's behaviour cycle across rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reconstruct import coverage_by_thread, thread_labels
+from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
+from repro.cluster.master import ClusterMaster
+from repro.core.config import TraceReason
+from repro.core.rco import augment_traces, merge_intervals
+from repro.util.units import SEC
+
+
+@dataclass
+class AppProgress:
+    """Accumulated profiling state for one application."""
+
+    app: str
+    rounds: int = 0
+    tasks: List[TraceTask] = field(default_factory=list)
+    #: merged symbolic-event coverage across all rounds/repetitions
+    coverage: List[tuple] = field(default_factory=list)
+
+    def coverage_fraction(self, cycle_length: int) -> float:
+        """Fraction of the behaviour cycle profiled so far."""
+        return augment_traces([self.coverage]).coverage_of_cycle(cycle_length)
+
+
+class ProfilingCampaign:
+    """Round-robin profiling of deployed apps under a per-round budget."""
+
+    def __init__(
+        self,
+        master: ClusterMaster,
+        apps: Sequence[str],
+        budget_core_seconds_per_round: float = 5.0,
+        period_ns: Optional[int] = None,
+    ):
+        if not apps:
+            raise ValueError("campaign needs at least one app")
+        unknown = [a for a in apps if a not in master.deployments]
+        if unknown:
+            raise ValueError(f"apps not deployed: {unknown}")
+        self.master = master
+        self.apps = list(apps)
+        self.budget = budget_core_seconds_per_round
+        self.period_ns = period_ns
+        self.progress: Dict[str, AppProgress] = {
+            app: AppProgress(app=app) for app in apps
+        }
+        self._cursor = 0
+        self.rounds_run = 0
+
+    # -- one campaign round -------------------------------------------------------
+
+    def run_round(self) -> List[TraceTask]:
+        """Profile as many due apps as the round budget allows."""
+        spent = 0.0
+        submitted: List[TraceTask] = []
+        for _ in range(len(self.apps)):
+            app = self.apps[self._cursor % len(self.apps)]
+            estimate = self._estimate_cost(app)
+            if submitted and spent + estimate > self.budget:
+                break  # budget exhausted; resume here next round
+            self._cursor += 1
+            spent += estimate
+            task = self.master.submit(TraceTaskSpec(
+                app=app,
+                reason=TraceReason.PROFILING,
+                period_ns=self.period_ns,
+                requester="profiling-campaign",
+            ))
+            self.master.reconcile(task)
+            submitted.append(task)
+            self._record(app, task)
+        self.rounds_run += 1
+        return submitted
+
+    def _estimate_cost(self, app: str) -> float:
+        deployment = self.master.deployments[app]
+        profile = deployment.profile
+        period = self.period_ns or self.master.rco.temporal.period_for(profile)
+        # spatial sampler traces a fraction of repetitions
+        expected_reps = max(1, round(0.3 * deployment.replicas))
+        return expected_reps * profile.n_threads * period / SEC
+
+    def _record(self, app: str, task: TraceTask) -> None:
+        progress = self.progress[app]
+        progress.rounds += 1
+        progress.tasks.append(task)
+        if task.status.phase is not TaskPhase.COMPLETE:
+            return
+        deployment = self.master.deployments[app]
+        pods_by_uid = {pod.uid: pod for pod in deployment.pods}
+        for pod_uid in task.status.selected_pods:
+            pod = pods_by_uid.get(pod_uid)
+            if pod is None or pod.process is None:
+                continue
+            node = self.master.nodes[pod.node_name]
+            for completed in node.facility.completed:
+                if completed.target_name != app:
+                    continue
+                labels = thread_labels(pod.process)
+                per_thread = coverage_by_thread(
+                    completed.session.segments, labels
+                )
+                for intervals in per_thread.values():
+                    progress.coverage.extend(intervals)
+        progress.coverage = merge_intervals(progress.coverage)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def coverage_report(self) -> Dict[str, float]:
+        """app -> fraction of its behaviour cycle profiled so far."""
+        report = {}
+        for app, progress in self.progress.items():
+            cycle = self.master.deployments[app].profile.path_model().length
+            report[app] = progress.coverage_fraction(cycle)
+        return report

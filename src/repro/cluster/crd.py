@@ -1,0 +1,97 @@
+"""Custom Resource Definitions for the tracing control plane (paper §4).
+
+User requests and tracing configurations are encapsulated as CRDs in the
+(simulated) Kubernetes API server; a controller per CRD runs the
+reconciliation loop.  :class:`TraceTask` is the central resource: its
+spec is what a developer submits through the unified interface, its
+status is what the controller maintains.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import TraceReason
+
+_task_counter = itertools.count(1)
+
+
+class TaskPhase(enum.Enum):
+    """TraceTask reconciliation phases."""
+
+    PENDING = "Pending"
+    SCHEDULED = "Scheduled"
+    TRACING = "Tracing"
+    DECODING = "Decoding"
+    COMPLETE = "Complete"
+    FAILED = "Failed"
+
+
+@dataclass
+class TraceTaskSpec:
+    """What the user asks for (the CRD ``spec`` block)."""
+
+    app: str
+    reason: TraceReason = TraceReason.USER
+    #: explicit period override in ns (None = RCO's temporal decider)
+    period_ns: Optional[int] = None
+    #: explicit repetition cap (None = RCO's spatial sampler)
+    max_repetitions: Optional[int] = None
+    requester: str = "oncall"
+
+    def to_manifest(self) -> Dict:
+        """Kubernetes-style manifest dict (round-trips with from_manifest)."""
+        return {
+            "apiVersion": "exist.repro/v1",
+            "kind": "TraceTask",
+            "spec": {
+                "app": self.app,
+                "reason": self.reason.value,
+                "periodNs": self.period_ns,
+                "maxRepetitions": self.max_repetitions,
+                "requester": self.requester,
+            },
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: Dict) -> "TraceTaskSpec":
+        if manifest.get("kind") != "TraceTask":
+            raise ValueError(f"not a TraceTask manifest: {manifest.get('kind')!r}")
+        spec = manifest["spec"]
+        return cls(
+            app=spec["app"],
+            reason=TraceReason(spec.get("reason", "user")),
+            period_ns=spec.get("periodNs"),
+            max_repetitions=spec.get("maxRepetitions"),
+            requester=spec.get("requester", "oncall"),
+        )
+
+
+@dataclass
+class TraceTaskStatus:
+    """What the controller maintains (the CRD ``status`` block)."""
+
+    phase: TaskPhase = TaskPhase.PENDING
+    selected_pods: List[str] = field(default_factory=list)
+    period_ns: int = 0
+    sessions_completed: int = 0
+    bytes_captured: float = 0.0
+    #: object-store keys of uploaded raw traces
+    trace_keys: List[str] = field(default_factory=list)
+    message: str = ""
+
+
+@dataclass
+class TraceTask:
+    """The full CRD object."""
+
+    spec: TraceTaskSpec
+    name: str = field(default_factory=lambda: f"trace-task-{next(_task_counter):04d}")
+    status: TraceTaskStatus = field(default_factory=TraceTaskStatus)
+
+    @property
+    def complete(self) -> bool:
+        return self.status.phase is TaskPhase.COMPLETE

@@ -1,0 +1,141 @@
+"""Anomaly detection and automatic trace triggering (paper §3.1).
+
+EXIST is "triggered on demand via an easy-to-use interface on a user
+request **or when abnormal metrics are detected**".  This module is the
+second trigger path: a :class:`MetricMonitor` keeps exponentially-
+weighted baselines of per-deployment metrics (the statistical
+observability layer of Figure 2), flags deviations, and an
+:class:`AnomalyTrigger` converts flags into TraceTask CRDs at the master
+— with a cooldown so a flapping metric doesn't stampede the cluster with
+tracing sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.crd import TraceTask, TraceTaskSpec
+from repro.cluster.master import ClusterMaster
+from repro.core.config import TraceReason
+from repro.util.units import SEC
+
+
+@dataclass
+class MetricBaseline:
+    """EWMA baseline of one (app, metric) series."""
+
+    mean: float = 0.0
+    #: EWMA of absolute deviation (a robust spread estimate)
+    deviation: float = 0.0
+    samples: int = 0
+
+    def update(self, value: float, alpha: float) -> None:
+        """Fold one in-baseline sample into the EWMA state."""
+        if self.samples == 0:
+            self.mean = value
+            self.deviation = abs(value) * 0.1
+        else:
+            error = value - self.mean
+            self.mean += alpha * error
+            self.deviation = (1 - alpha) * self.deviation + alpha * abs(error)
+        self.samples += 1
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One detected deviation."""
+
+    app: str
+    metric: str
+    value: float
+    baseline: float
+    z_score: float
+    timestamp_ns: int
+
+
+class MetricMonitor:
+    """Statistical observability: detects *that* something is wrong.
+
+    (Explaining *why* is intra-service tracing's job — Figure 2's split.)
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        z_threshold: float = 4.0,
+        warmup_samples: int = 5,
+    ):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup_samples = warmup_samples
+        self._baselines: Dict[tuple, MetricBaseline] = {}
+        self.events: List[AnomalyEvent] = []
+
+    def observe(
+        self, app: str, metric: str, value: float, timestamp_ns: int = 0
+    ) -> Optional[AnomalyEvent]:
+        """Feed one sample; returns an event if it deviates."""
+        key = (app, metric)
+        baseline = self._baselines.setdefault(key, MetricBaseline())
+        event = None
+        if baseline.samples >= self.warmup_samples:
+            spread = max(baseline.deviation, abs(baseline.mean) * 0.01, 1e-12)
+            z_score = (value - baseline.mean) / spread
+            if z_score > self.z_threshold:
+                event = AnomalyEvent(
+                    app=app, metric=metric, value=value,
+                    baseline=baseline.mean, z_score=z_score,
+                    timestamp_ns=timestamp_ns,
+                )
+                self.events.append(event)
+                # do not fold the anomaly into the baseline: the baseline
+                # should keep describing normal behaviour
+                return event
+        baseline.update(value, self.alpha)
+        return event
+
+    def baseline_of(self, app: str, metric: str) -> Optional[MetricBaseline]:
+        """Current baseline for one (app, metric) series, if any."""
+        return self._baselines.get((app, metric))
+
+
+class AnomalyTrigger:
+    """Turns anomaly events into TraceTask CRDs, with per-app cooldown."""
+
+    def __init__(
+        self,
+        master: ClusterMaster,
+        monitor: Optional[MetricMonitor] = None,
+        cooldown_ns: int = 30 * SEC,
+        auto_reconcile: bool = True,
+    ):
+        self.master = master
+        self.monitor = monitor or MetricMonitor()
+        self.cooldown_ns = cooldown_ns
+        self.auto_reconcile = auto_reconcile
+        self._last_triggered: Dict[str, int] = {}
+        self.triggered_tasks: List[TraceTask] = []
+
+    def feed(
+        self, app: str, metric: str, value: float, timestamp_ns: int
+    ) -> Optional[TraceTask]:
+        """Feed a metric sample; may submit (and reconcile) a TraceTask."""
+        event = self.monitor.observe(app, metric, value, timestamp_ns)
+        if event is None:
+            return None
+        last = self._last_triggered.get(app)
+        if last is not None and timestamp_ns - last < self.cooldown_ns:
+            return None  # still cooling down: one trace per incident
+        self._last_triggered[app] = timestamp_ns
+        task = self.master.submit(TraceTaskSpec(
+            app=app,
+            reason=TraceReason.ANOMALY,
+            requester=f"anomaly-detector/{metric}",
+        ))
+        self.triggered_tasks.append(task)
+        if self.auto_reconcile:
+            self.master.reconcile(task)
+        return task

@@ -1,0 +1,232 @@
+"""Cluster master: deployments, the TraceTask controller, and RCO wiring.
+
+The control plane of the reproduction: applications are deployed as pod
+replicas across worker nodes; a submitted :class:`TraceTask` CRD is
+reconciled by (1) asking RCO which repetitions to trace and for how long,
+(2) starting node-level EXIST sessions, (3) driving the nodes through the
+tracing window, and (4) uploading raw traces to the object store and the
+decoded, structured results to the analytical store — the paper's §4
+control and data flows end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
+from repro.cluster.node import ClusterNode
+from repro.cluster.pod import Pod
+from repro.cluster.storage import BinaryRepository, ObjectStore, StructuredStore
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.core.otc import TracingSession
+from repro.core.rco import Repetition, RepetitionAwareCoverageOptimizer
+from repro.hwtrace.decoder import encode_trace
+from repro.program.workloads import WorkloadProfile, get_workload
+from repro.util.units import MIB, MSEC, SEC
+
+
+@dataclass
+class Deployment:
+    """An application's replica set across the cluster."""
+
+    app: str
+    profile: WorkloadProfile
+    pods: List[Pod] = field(default_factory=list)
+
+    @property
+    def replicas(self) -> int:
+        return len(self.pods)
+
+
+@dataclass
+class ManagementFootprint:
+    """RCO management-pod resource usage (paper Figure 17, right side)."""
+
+    cpu_cores: float = 0.0
+    memory_bytes: int = 0
+
+    @property
+    def memory_mb(self) -> float:
+        return self.memory_bytes / MIB
+
+
+class ClusterMaster:
+    """The Kubernetes-master stand-in hosting the EXIST control plane."""
+
+    #: RCO management pod baseline (measured in the paper: <3e-3 cores,
+    #: ~40 MB under high stress on a ten-node cluster)
+    MGMT_BASE_MEMORY = 38 * MIB
+    MGMT_CPU_PER_TASK = 2e-3
+    MGMT_MEMORY_PER_TASK = int(0.2 * MIB)
+
+    def __init__(self, exist_config: Optional[ExistConfig] = None, seed: int = 0):
+        self.exist_config = exist_config or ExistConfig()
+        self.nodes: Dict[str, ClusterNode] = {}
+        self.deployments: Dict[str, Deployment] = {}
+        self.rco = RepetitionAwareCoverageOptimizer(self.exist_config, seed=seed)
+        self.object_store = ObjectStore()
+        self.structured_store = StructuredStore()
+        self.binary_repository = BinaryRepository()
+        self.structured_store.create_table("traces")
+        self.tasks: List[TraceTask] = []
+        self._active_tasks = 0
+
+    # -- cluster assembly --------------------------------------------------------
+
+    def add_node(self, node: ClusterNode) -> None:
+        """Register a worker node with the master."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+
+    def deploy(
+        self,
+        app: str,
+        replicas: int,
+        node_names: Optional[Sequence[str]] = None,
+    ) -> Deployment:
+        """Deploy ``replicas`` pods of ``app`` round-robin across nodes."""
+        profile = get_workload(app)
+        targets = list(node_names or sorted(self.nodes))
+        if not targets:
+            raise RuntimeError("no nodes in the cluster")
+        deployment = self.deployments.setdefault(
+            app, Deployment(app=app, profile=profile)
+        )
+        # the decoder later fetches this binary keyed by the app (§4)
+        if not self.binary_repository.has(app):
+            self.binary_repository.register(app, profile.binary())
+        for index in range(replicas):
+            node = self.nodes[targets[index % len(targets)]]
+            deployment.pods.append(node.place_pod(profile))
+        return deployment
+
+    # -- the TraceTask controller ---------------------------------------------------
+
+    def submit(self, spec: TraceTaskSpec) -> TraceTask:
+        """Accept a TraceTask CRD (reconcile separately)."""
+        task = TraceTask(spec=spec)
+        self.tasks.append(task)
+        return task
+
+    def reconcile(self, task: TraceTask, settle_ms: int = 50) -> TraceTask:
+        """Run the full reconciliation loop for one task."""
+        deployment = self.deployments.get(task.spec.app)
+        if deployment is None or not deployment.pods:
+            task.status.phase = TaskPhase.FAILED
+            task.status.message = f"app {task.spec.app!r} not deployed"
+            return task
+
+        # (1) RCO decides repetitions and period
+        repetitions = [
+            Repetition(
+                app=pod.app,
+                node=pod.node_name,
+                pod_uid=pod.uid,
+                priority=pod.priority,
+            )
+            for pod in deployment.pods
+        ]
+        request = TracingRequest(
+            target=task.spec.app,
+            reason=task.spec.reason,
+            period_ns=task.spec.period_ns,
+            requester=task.spec.requester,
+        )
+        plan = self.rco.orchestrate(request, deployment.profile, repetitions)
+        selected = plan.selected
+        if task.spec.max_repetitions is not None:
+            selected = selected[: task.spec.max_repetitions]
+        # one traced pod per (app, node): a node facility runs at most one
+        # session per core set, and CPU-share pods map to every core
+        seen_nodes = set()
+        deduped = []
+        for repetition in selected:
+            if repetition.node in seen_nodes:
+                continue
+            seen_nodes.add(repetition.node)
+            deduped.append(repetition)
+        selected = deduped
+        task.status.period_ns = plan.period_ns
+        task.status.selected_pods = [r.pod_uid for r in selected]
+        task.status.phase = TaskPhase.SCHEDULED
+        self._active_tasks += 1
+
+        # (2) start node sessions
+        pods_by_uid = {pod.uid: pod for pod in deployment.pods}
+        sessions: List[Tuple[Pod, TracingSession]] = []
+        for repetition in selected:
+            pod = pods_by_uid[repetition.pod_uid]
+            node = self.nodes[pod.node_name]
+            node_request = TracingRequest(
+                target=pod.app,
+                reason=task.spec.reason,
+                period_ns=plan.period_ns,
+                requester=task.spec.requester,
+            )
+            sessions.append((pod, node.trace_pod(pod, node_request)))
+        task.status.phase = TaskPhase.TRACING
+
+        # (3) drive the traced nodes through the window
+        window = plan.period_ns + settle_ms * MSEC
+        for node_name in {pod.node_name for pod, _ in sessions}:
+            self.nodes[node_name].run_for(window)
+
+        # (4) upload raw traces, decode, persist structured rows
+        from repro.hwtrace.decoder import SoftwareDecoder
+
+        task.status.phase = TaskPhase.DECODING
+        for pod, session in sessions:
+            if not session.stopped:
+                node = self.nodes[pod.node_name]
+                node.facility.stop_tracing(session, "reconcile-timeout")
+            raw = encode_trace(session.segments)
+            key = f"traces/{task.name}/{pod.uid}"
+            self.object_store.put(key, raw)
+            task.status.trace_keys.append(key)
+            task.status.bytes_captured += session.bytes_captured
+            task.status.sessions_completed += 1
+
+            # decode off-node: raw bytes from OSS + the binary from the
+            # repository (never reaching into the worker's memory)
+            node = self.nodes[pod.node_name]
+            binary = self.binary_repository.fetch(pod.app)
+            cr3 = pod.process.cr3 if pod.process is not None else 0
+            decoder = SoftwareDecoder({cr3: binary})
+            decoded = decoder.decode(self.object_store.get(key), resilient=True)
+            histogram = decoded.function_histogram()
+            self.structured_store.insert(
+                "traces",
+                [
+                    {
+                        "task": task.name,
+                        "app": pod.app,
+                        "pod": pod.uid,
+                        "node": pod.node_name,
+                        "records": len(decoded),
+                        "functions": len(histogram),
+                        "bytes": len(raw),
+                        "period_ns": plan.period_ns,
+                    }
+                ],
+            )
+        task.status.phase = TaskPhase.COMPLETE
+        self._active_tasks -= 1
+        return task
+
+    # -- management accounting (Fig 17) -----------------------------------------------
+
+    def management_footprint(self) -> ManagementFootprint:
+        """Current RCO management-pod resource usage."""
+        return ManagementFootprint(
+            cpu_cores=self.MGMT_CPU_PER_TASK * max(1, self._active_tasks),
+            memory_bytes=self.MGMT_BASE_MEMORY
+            + self.MGMT_MEMORY_PER_TASK * len(self.tasks),
+        )
+
+    def sessions_for(self, task: TraceTask) -> List[Dict]:
+        """Structured-store rows produced by one task."""
+        return self.structured_store.query(
+            "traces", where=lambda r: r["task"] == task.name
+        )

@@ -1,0 +1,108 @@
+"""Cluster worker node: a kernel system + EXIST facility + hosted pods.
+
+Each node owns an independent simulated timeline.  The master advances
+all nodes through the same virtual window; nodes do not interact directly
+(inter-service effects are modeled by :mod:`repro.services`), which
+matches how EXIST's node facilities operate independently under a
+cluster-level orchestrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.pod import Pod, PodPhase
+from repro.core.config import ExistConfig, TracingRequest
+from repro.core.facility import CompletedSession, ExistFacility
+from repro.core.otc import TracingSession
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import ProvisioningMode, WorkloadProfile
+from repro.util.units import SEC
+
+
+class ClusterNode:
+    """One worker node with its own simulated kernel and facility."""
+
+    def __init__(
+        self,
+        name: str,
+        system_config: Optional[SystemConfig] = None,
+        exist_config: Optional[ExistConfig] = None,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.system = KernelSystem(system_config or SystemConfig.small_node(8, seed=seed))
+        self.facility = ExistFacility(self.system, exist_config, seed=seed)
+        self.facility.install()
+        self.pods: List[Pod] = []
+        self._next_pin = 0
+        self.seed = seed
+
+    # -- pod placement -------------------------------------------------------
+
+    def place_pod(
+        self,
+        profile: WorkloadProfile,
+        cpuset: Optional[Sequence[int]] = None,
+    ) -> Pod:
+        """Place and start one replica of ``profile`` on this node.
+
+        CPU-set pods get an exclusive pinned range sized to their thread
+        count when no explicit ``cpuset`` is given; CPU-share pods map to
+        the node's full core set.
+        """
+        n_cores = len(self.system.topology)
+        if cpuset is None:
+            if profile.provisioning is ProvisioningMode.CPU_SET:
+                need = max(profile.n_threads, 1)
+                if self._next_pin + need > n_cores:
+                    raise RuntimeError(f"node {self.name} out of pinnable cores")
+                cpuset = tuple(range(self._next_pin, self._next_pin + need))
+                self._next_pin += need
+            else:
+                cpuset = tuple(range(n_cores))
+        pod = Pod(
+            app=profile.name,
+            node_name=self.name,
+            profile=profile,
+            cpuset=tuple(cpuset),
+        )
+        process = profile.spawn(
+            self.system, cpuset=pod.cpuset, seed=self.seed + len(self.pods)
+        )
+        process.pod = pod
+        pod.mark_running(process)
+        self.pods.append(pod)
+        return pod
+
+    def pods_of(self, app: str) -> List[Pod]:
+        """All pods of ``app`` hosted on this node."""
+        return [pod for pod in self.pods if pod.app == app]
+
+    # -- tracing ----------------------------------------------------------------
+
+    def trace_pod(
+        self, pod: Pod, request: TracingRequest
+    ) -> TracingSession:
+        """Start one tracing session against a pod on this node."""
+        if pod.process is None:
+            raise RuntimeError(f"{pod} has no running process")
+        return self.facility.begin_tracing(request)
+
+    # -- time ------------------------------------------------------------------------
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance this node's virtual time."""
+        self.system.run_for(duration_ns)
+
+    @property
+    def now(self) -> int:
+        return self.system.sim.now
+
+    def utilization(self) -> float:
+        """Average core utilization since the node booted."""
+        return self.system.topology.utilization(max(self.now, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterNode({self.name}, pods={len(self.pods)})"

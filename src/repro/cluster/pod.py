@@ -1,0 +1,54 @@
+"""Pods: the smallest deployable unit (paper Figure 5's traced entity)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.kernel.task import Process
+from repro.program.workloads import ProvisioningMode, WorkloadProfile
+
+_pod_counter = itertools.count(1)
+
+
+class PodPhase(enum.Enum):
+    """Kubernetes-style pod lifecycle phase."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+
+
+@dataclass
+class Pod:
+    """One replica of an application, placed on one node.
+
+    ``cpuset`` is the pod's Mapped Core Set: the pinned cores for CPU-set
+    pods, or the (wide) shared set for CPU-share pods.
+    """
+
+    app: str
+    node_name: str
+    profile: WorkloadProfile
+    cpuset: Optional[Tuple[int, ...]] = None
+    uid: str = field(default_factory=lambda: f"pod-{next(_pod_counter):05d}")
+    phase: PodPhase = PodPhase.PENDING
+    process: Optional[Process] = None
+
+    @property
+    def provisioning(self) -> ProvisioningMode:
+        return self.profile.provisioning
+
+    @property
+    def priority(self) -> int:
+        return self.profile.priority
+
+    def mark_running(self, process: Process) -> None:
+        """Bind the started process and flip the phase to Running."""
+        self.process = process
+        self.phase = PodPhase.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pod({self.uid}, app={self.app}, node={self.node_name}, {self.phase.value})"

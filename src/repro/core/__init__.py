@@ -1,0 +1,56 @@
+"""EXIST: the paper's primary contribution.
+
+Three cooperative components pursue the time/space/coverage optimum
+(paper §3):
+
+* :mod:`repro.core.otc` — Operation-aware Tracing Controller: reduces
+  tracing control from O(#context switches) to O(#cores) MSR operations
+  per tracing period, bounded by a high-resolution timer, entirely in
+  kernel mode;
+* :mod:`repro.core.uma` — Usage-aware Memory Allocator: coreset sampling
+  (CPU-set vs CPU-share provisioning) and per-core compulsory buffers
+  sized from node status and core utilization;
+* :mod:`repro.core.rco` — Repetition-aware Coverage Optimizer:
+  cluster-level temporal periods from application complexity, spatial
+  repetition sampling, and trace augmentation across workers.
+
+:mod:`repro.core.facility` assembles OTC + UMA into the node daemon and
+:mod:`repro.core.exist` adapts it to the common
+:class:`~repro.tracing.base.TracingScheme` contract used by every
+experiment.
+"""
+
+from repro.core.config import ExistConfig, TracingRequest, TraceReason
+from repro.core.otc import OperationAwareTracingController, TracingSession
+from repro.core.uma import (
+    UsageAwareMemoryAllocator,
+    CoresetSampler,
+    BufferManager,
+    CoresetPlan,
+)
+from repro.core.rco import (
+    RepetitionAwareCoverageOptimizer,
+    TemporalDecider,
+    SpatialSampler,
+    augment_traces,
+)
+from repro.core.facility import ExistFacility
+from repro.core.exist import ExistScheme
+
+__all__ = [
+    "ExistConfig",
+    "TracingRequest",
+    "TraceReason",
+    "OperationAwareTracingController",
+    "TracingSession",
+    "UsageAwareMemoryAllocator",
+    "CoresetSampler",
+    "BufferManager",
+    "CoresetPlan",
+    "RepetitionAwareCoverageOptimizer",
+    "TemporalDecider",
+    "SpatialSampler",
+    "augment_traces",
+    "ExistFacility",
+    "ExistScheme",
+]

@@ -1,0 +1,93 @@
+"""EXIST configuration and the user-facing tracing request.
+
+Defaults mirror the paper's §4 hyperparameters: ~500 MB of node memory
+for tracing, per-core buffers between 4 MB and 128 MB, tracing periods
+between 0.1 s and 2 s.  A :class:`TracingRequest` is the node-level
+payload of the cluster CRD (:mod:`repro.cluster.crd`) — what a user or an
+anomaly detector submits through the configuration interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.util.units import MIB, MSEC, SEC
+
+
+class TraceReason(enum.Enum):
+    """Why tracing was requested (drives RCO's spatial policy, §3.4)."""
+
+    ANOMALY = "anomaly"  # trace every involved repetition
+    PROFILING = "profiling"  # sampled repetitions suffice
+    USER = "user"  # explicit user request, personalized settings
+
+
+@dataclass(frozen=True)
+class ExistConfig:
+    """Node-level facility hyperparameters (paper §4)."""
+
+    #: total node memory the facility may occupy for trace buffers
+    node_budget_bytes: int = 500 * MIB
+    #: memory budget of a single tracing session
+    session_budget_bytes: int = 256 * MIB
+    per_core_buffer_min: int = 4 * MIB
+    per_core_buffer_max: int = 128 * MIB
+    period_min_ns: int = 100 * MSEC
+    period_max_ns: int = 2 * SEC
+    #: default coreset sampling ratio for CPU-share pods (fraction of MCS)
+    core_sampling_ratio: float = 0.5
+    #: restart sessions back-to-back until explicitly stopped
+    continuous: bool = False
+    #: §6.1 hardware what-if: one memory buffer shared across the traced
+    #: cores instead of the per-core design (better coverage when load is
+    #: imbalanced across cores; unsupported by today's IPT)
+    unified_buffer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.per_core_buffer_min > self.per_core_buffer_max:
+            raise ValueError("per-core buffer min exceeds max")
+        if self.session_budget_bytes > self.node_budget_bytes:
+            raise ValueError("session budget exceeds node budget")
+        if not 0.0 < self.core_sampling_ratio <= 1.0:
+            raise ValueError("core sampling ratio must be in (0, 1]")
+        if self.period_min_ns > self.period_max_ns:
+            raise ValueError("period min exceeds max")
+
+    def clamp_period(self, period_ns: int) -> int:
+        """Clamp a tracing period into the configured bounds."""
+        return max(self.period_min_ns, min(self.period_max_ns, period_ns))
+
+    def clamp_buffer(self, n_bytes: int) -> int:
+        """Clamp a per-core buffer size into the configured bounds."""
+        return max(
+            self.per_core_buffer_min, min(self.per_core_buffer_max, n_bytes)
+        )
+
+
+@dataclass
+class TracingRequest:
+    """One intra-service tracing request against a node.
+
+    ``target`` names the traced application (process name on the node).
+    ``period_ns`` of ``None`` delegates the choice to RCO's temporal
+    decider; explicit values are the "personalized tracing" path.
+    """
+
+    target: str
+    reason: TraceReason = TraceReason.USER
+    period_ns: Optional[int] = None
+    #: override UMA's coreset sampling ratio (CPU-share pods)
+    core_sampling_ratio: Optional[float] = None
+    #: override the session memory budget
+    session_budget_bytes: Optional[int] = None
+    #: restrict tracing to these logical cores (personalized)
+    coreset: Optional[Sequence[int]] = None
+    requester: str = "oncall"
+
+    def resolved_period(self, config: ExistConfig, default_ns: int) -> int:
+        """The period to use: the explicit one or ``default_ns``, clamped."""
+        if self.period_ns is not None:
+            return config.clamp_period(self.period_ns)
+        return config.clamp_period(default_ns)

@@ -1,0 +1,139 @@
+"""EXIST as a :class:`~repro.tracing.base.TracingScheme`.
+
+Adapts the node facility (OTC + UMA sessions) to the common scheme
+contract so every benchmark runs EXIST and the baselines identically.
+The adapter contributes exactly the costs the paper's design implies:
+
+* the PT packet-generation tax while a session's tracer is enabled on the
+  thread's core (the only continuous cost — EXIST neither drains buffers
+  during tracing nor takes sampling interrupts);
+* the ``sched_switch`` hook + five-tuple + first-schedule-in WRMSR costs,
+  charged event-wise through OTC's tracepoint hook;
+* nothing at all outside tracing periods.
+
+With ``continuous=True`` (how the paper runs its efficiency experiments:
+"tracing systems are turned on for the entire experiments"), a new
+session starts as soon as the previous period's HRT expires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.core.facility import CompletedSession, ExistFacility
+from repro.kernel.cpu import LogicalCore
+from repro.kernel.task import SliceResult, Thread
+from repro.tracing.base import SchemeArtifacts, TracingScheme
+from repro.util.units import MSEC
+
+
+class ExistScheme(TracingScheme):
+    """The paper's system, behind the common scheme interface."""
+
+    name = "EXIST"
+
+    def __init__(
+        self,
+        config: Optional[ExistConfig] = None,
+        period_ns: int = 500 * MSEC,
+        continuous: bool = True,
+        core_sampling_ratio: Optional[float] = None,
+        session_budget_bytes: Optional[int] = None,
+        seed: int = 0,
+        backend: str = "ipt",
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.backend = backend
+        self.config = config or ExistConfig()
+        self.period_ns = period_ns
+        self.continuous = continuous
+        self.core_sampling_ratio = core_sampling_ratio
+        self.session_budget_bytes = session_budget_bytes
+        self.seed = seed
+        self.facility: Optional[ExistFacility] = None
+        self._tax_cache: Dict[int, float] = {}
+        self._stopping = False
+
+    # -- install -----------------------------------------------------------------
+
+    def _on_install(self) -> None:
+        assert self.system is not None
+        self.facility = ExistFacility(
+            self.system, self.config, cost_model=self.cost_model,
+            seed=self.seed, backend=self.backend,
+        )
+        # share the scheme ledger so experiments see one unified account
+        self.facility.ledger = self.ledger
+        self.facility.install()
+        for target in self._targets:
+            self._start_session(target.name)
+
+    def _start_session(self, target_name: str) -> None:
+        assert self.facility is not None
+        request = TracingRequest(
+            target=target_name,
+            reason=TraceReason.USER,
+            period_ns=self.period_ns,
+            core_sampling_ratio=self.core_sampling_ratio,
+            session_budget_bytes=self.session_budget_bytes,
+        )
+        self.facility.begin_tracing(request, on_stop=self._session_done)
+
+    def _session_done(self, completed: CompletedSession) -> None:
+        if self.continuous and not self._stopping:
+            assert self.system is not None
+            # restart on a fresh event so OTC state settles first
+            name = completed.target_name
+            self.system.sim.schedule_after(0, lambda: self._restart(name))
+
+    def _restart(self, target_name: str) -> None:
+        if self._stopping or self.facility is None:
+            return
+        self._start_session(target_name)
+
+    def _on_uninstall(self) -> None:
+        self._stopping = True
+        if self.facility is not None:
+            self.facility.uninstall()
+
+    # NOTE: the scheduler-hook surface (PT tax, slice capture) lives in
+    # the facility's _FacilityHooks — installed with the kernel module —
+    # so facility-driven sessions capture identically whether or not this
+    # scheme adapter is present.  The base-class no-op hooks suffice here.
+
+    # -- results ------------------------------------------------------------------------
+
+    def finish_sessions(self) -> None:
+        """Stop any in-flight session (call before reading artifacts)."""
+        self._stopping = True
+        if self.facility is not None and self.facility.otc is not None:
+            for session in list(self.facility.otc.active_sessions):
+                self.facility.otc.stop(session, "collect")
+
+    def artifacts(self) -> SchemeArtifacts:
+        """Collect all sessions' segments, five-tuples, and the ledger."""
+        self.finish_sessions()
+        segments = []
+        sched_records = []
+        space = 0.0
+        assert self.facility is not None
+        for completed in self.facility.completed:
+            segments.extend(completed.session.segments)
+            sched_records.extend(completed.session.sched_records)
+            space += completed.bytes_captured
+        segments.sort(key=lambda s: s.t_start)
+        return SchemeArtifacts(
+            scheme=self.name,
+            segments=segments,
+            sched_records=sched_records,
+            space_bytes=space,
+            ledger=self.ledger,
+        )
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def sessions_completed(self) -> int:
+        return len(self.facility.completed) if self.facility is not None else 0

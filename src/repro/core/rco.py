@@ -1,0 +1,261 @@
+"""RCO — Repetition-aware Coverage Optimizer (paper §3.4).
+
+Cluster-level orchestration of intra-service tracing:
+
+* :class:`TemporalDecider` — picks each application's tracing period from
+  a weighted complexity score (manager-defined priority, binary size,
+  past stability issues), adjusted by a pre-measured reference overhead;
+* :class:`SpatialSampler` — picks which repetitions (replicas) to trace:
+  all of them for anomalies, a density/priority-weighted sample for
+  profiling, never below the deployment threshold;
+* :func:`augment_traces` — merges traces from multiple workers: removes
+  redundancy (overlapping coverage) and complements missing ranges,
+  yielding the coverage gains of Figure 20.
+
+Coverage is expressed in symbolic path-event index ranges over the
+application's canonical :class:`~repro.program.path.PathModel` — what a
+repetition captured of the program's behaviour cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.program.workloads import WorkloadProfile
+from repro.util.rng import derive_seed
+
+Interval = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# interval algebra (coverage bookkeeping)
+# ---------------------------------------------------------------------------
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Union of half-open intervals, sorted and coalesced."""
+    items = sorted((int(a), int(b)) for a, b in intervals if b > a)
+    merged: List[Interval] = []
+    for start, end in items:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def interval_length(intervals: Iterable[Interval]) -> int:
+    """Total covered length of an interval union."""
+    return sum(b - a for a, b in merge_intervals(intervals))
+
+
+def interval_intersection(
+    left: Sequence[Interval], right: Sequence[Interval]
+) -> List[Interval]:
+    """Intersection of two interval unions."""
+    out: List[Interval] = []
+    li = ri = 0
+    lm, rm = merge_intervals(left), merge_intervals(right)
+    while li < len(lm) and ri < len(rm):
+        a = max(lm[li][0], rm[ri][0])
+        b = min(lm[li][1], rm[ri][1])
+        if a < b:
+            out.append((a, b))
+        if lm[li][1] < rm[ri][1]:
+            li += 1
+        else:
+            ri += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# temporal decider
+# ---------------------------------------------------------------------------
+
+class TemporalDecider:
+    """Chooses tracing periods from application complexity (§3.4)."""
+
+    def __init__(
+        self,
+        config: ExistConfig,
+        weights: Tuple[float, float, float] = (0.5, 0.3, 0.2),
+        overhead_threshold: float = 0.01,
+    ):
+        self.config = config
+        self.weights = weights
+        #: per-mille target: shrink periods if reference overhead exceeds it
+        self.overhead_threshold = overhead_threshold
+        #: pre-measured reference monitoring overheads per application
+        self.reference_overhead: Dict[str, float] = {}
+
+    def record_reference_overhead(self, app: str, overhead: float) -> None:
+        """Store a measured overhead fraction from a calibration trace."""
+        self.reference_overhead[app] = max(0.0, float(overhead))
+
+    def period_for(self, profile: WorkloadProfile) -> int:
+        """Tracing period: complex programs need longer coverage windows."""
+        score = profile.complexity_score(self.weights)
+        span = self.config.period_max_ns - self.config.period_min_ns
+        period = self.config.period_min_ns + int(score * span)
+        overhead = self.reference_overhead.get(profile.name)
+        if overhead is not None and overhead > self.overhead_threshold:
+            # jointly decide: proportionally shorten to respect the budget
+            period = int(period * self.overhead_threshold / overhead)
+        return self.config.clamp_period(period)
+
+
+# ---------------------------------------------------------------------------
+# spatial sampler
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Repetition:
+    """One deployed replica of an application (node + pod identity)."""
+
+    app: str
+    node: str
+    pod_uid: str
+    priority: int = 5
+
+
+class SpatialSampler:
+    """Chooses which repetitions to trace (§3.4)."""
+
+    def __init__(
+        self,
+        base_fraction: float = 0.3,
+        deployment_threshold: int = 1,
+        seed: int = 0,
+    ):
+        if not 0.0 < base_fraction <= 1.0:
+            raise ValueError("base fraction must be in (0, 1]")
+        self.base_fraction = base_fraction
+        self.deployment_threshold = deployment_threshold
+        self._rng = np.random.default_rng(derive_seed(seed, "spatial-sampler"))
+
+    def select(
+        self, repetitions: Sequence[Repetition], reason: TraceReason
+    ) -> List[Repetition]:
+        """Pick the repetitions to trace for one request."""
+        reps = list(repetitions)
+        if not reps:
+            return []
+        if reason is TraceReason.ANOMALY:
+            # abnormal behaviours are distinct: trace everything involved
+            return reps
+        # profiling: higher priority and broader deployment -> more traced
+        priority = reps[0].priority
+        fraction = min(1.0, self.base_fraction * (0.5 + priority / 10.0))
+        count = max(
+            min(len(reps), self.deployment_threshold),
+            int(round(fraction * len(reps))),
+        )
+        picked = self._rng.choice(len(reps), size=count, replace=False)
+        return [reps[int(i)] for i in sorted(picked)]
+
+
+# ---------------------------------------------------------------------------
+# trace augmentation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AugmentedCoverage:
+    """Result of merging repetition traces."""
+
+    merged: List[Interval]
+    per_worker_events: List[int]
+    union_events: int
+    #: events present in >1 worker (redundancy removed by the merge)
+    redundant_events: int
+    workers: int
+
+    def coverage_of_cycle(self, cycle_length: int) -> float:
+        """Fraction of the canonical behaviour cycle covered (0..1).
+
+        Workers capture absolute event indices; behaviour repeats every
+        ``cycle_length`` events, so coverage is measured modulo the cycle.
+        """
+        if cycle_length <= 0:
+            raise ValueError("cycle length must be positive")
+        covered = np.zeros(cycle_length, dtype=bool)
+        for start, end in self.merged:
+            span = end - start
+            if span >= cycle_length:
+                return 1.0
+            lo = start % cycle_length
+            hi = end % cycle_length
+            if lo < hi:
+                covered[lo:hi] = True
+            else:
+                covered[lo:] = True
+                covered[:hi] = True
+        return float(covered.mean())
+
+
+def augment_traces(
+    worker_coverages: Sequence[Sequence[Interval]],
+) -> AugmentedCoverage:
+    """Merge per-worker coverage: de-duplicate overlaps, fill gaps (§3.4)."""
+    all_intervals: List[Interval] = []
+    per_worker = []
+    for coverage in worker_coverages:
+        merged_worker = merge_intervals(coverage)
+        per_worker.append(interval_length(merged_worker))
+        all_intervals.extend(merged_worker)
+    merged = merge_intervals(all_intervals)
+    union = interval_length(merged)
+    redundant = sum(per_worker) - union
+    return AugmentedCoverage(
+        merged=merged,
+        per_worker_events=per_worker,
+        union_events=union,
+        redundant_events=max(0, redundant),
+        workers=len(per_worker),
+    )
+
+
+# ---------------------------------------------------------------------------
+# facade
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OrchestrationPlan:
+    """RCO's decision for one tracing request."""
+
+    request: TracingRequest
+    selected: List[Repetition]
+    period_ns: int
+    #: estimated cluster cost in traced core-seconds
+    estimated_cost: float
+
+
+class RepetitionAwareCoverageOptimizer:
+    """Cluster-level orchestration facade."""
+
+    def __init__(self, config: Optional[ExistConfig] = None, seed: int = 0):
+        self.config = config or ExistConfig()
+        self.temporal = TemporalDecider(self.config)
+        self.spatial = SpatialSampler(seed=seed)
+
+    def orchestrate(
+        self,
+        request: TracingRequest,
+        profile: WorkloadProfile,
+        repetitions: Sequence[Repetition],
+    ) -> OrchestrationPlan:
+        """Decide which repetitions to trace and for how long."""
+        period = request.resolved_period(
+            self.config, self.temporal.period_for(profile)
+        )
+        selected = self.spatial.select(repetitions, request.reason)
+        cores_per_rep = max(1, profile.n_threads)
+        cost = len(selected) * cores_per_rep * period / 1e9
+        return OrchestrationPlan(
+            request=request,
+            selected=selected,
+            period_ns=period,
+            estimated_cost=cost,
+        )

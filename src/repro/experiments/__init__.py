@@ -1,0 +1,34 @@
+"""Shared experiment harnesses.
+
+Scenario builders used by ``benchmarks/`` (one module per paper table or
+figure) and by the examples: standardized node shapes, scheme factories,
+slowdown/throughput measurement loops, and accuracy pipelines.  Keeping
+them in the library (rather than inside the benchmark files) makes every
+experiment reproducible from user code as well.
+"""
+
+from repro.experiments.scenarios import (
+    SCHEME_FACTORIES,
+    make_scheme,
+    run_compute_slowdown,
+    run_online_throughput,
+    run_traced_execution,
+    slowdown_table,
+    throughput_table,
+)
+from repro.experiments.accuracy import (
+    direct_accuracy_vs_nht,
+    weight_accuracy_vs_nht,
+)
+
+__all__ = [
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "run_compute_slowdown",
+    "run_online_throughput",
+    "run_traced_execution",
+    "slowdown_table",
+    "throughput_table",
+    "direct_accuracy_vs_nht",
+    "weight_accuracy_vs_nht",
+]

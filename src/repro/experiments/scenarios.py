@@ -1,0 +1,203 @@
+"""Scenario builders shared by benchmarks, tests, and examples.
+
+Every efficiency experiment follows the same pattern: build a fresh node,
+spawn the workload (optionally with co-located neighbours), install one
+tracing scheme targeting it, run, and measure.  The helpers here make the
+pattern one call, with identical seeds across schemes so measured deltas
+are attributable to the scheme alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exist import ExistScheme
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.kernel.task import Process
+from repro.program.workloads import WorkloadProfile, get_workload
+from repro.tracing.base import SchemeArtifacts, TracingScheme
+from repro.tracing.ebpf import EbpfScheme
+from repro.tracing.griffin import GriffinScheme
+from repro.tracing.nht import NhtScheme
+from repro.tracing.oracle import OracleScheme
+from repro.tracing.rept import ReptScheme
+from repro.tracing.stasam import StaSamScheme
+from repro.util.units import MSEC, SEC
+
+#: scheme name -> zero-argument factory; the Table 2 lineup
+SCHEME_FACTORIES: Dict[str, Callable[[], TracingScheme]] = {
+    "Oracle": OracleScheme,
+    "EXIST": ExistScheme,
+    "StaSam": StaSamScheme,
+    "eBPF": EbpfScheme,
+    "NHT": NhtScheme,
+    "REPT": ReptScheme,
+    "Griffin": GriffinScheme,
+}
+
+SCHEME_ORDER = ("Oracle", "EXIST", "StaSam", "eBPF", "NHT")
+
+
+def make_scheme(name: str, **kwargs) -> TracingScheme:
+    """Instantiate a scheme by Table 2 name."""
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
+    return factory(**kwargs)  # type: ignore[call-arg]
+
+
+@dataclass
+class TracedRun:
+    """Everything one scheme run produced."""
+
+    scheme: str
+    workload: str
+    system: KernelSystem
+    target: Process
+    artifacts: SchemeArtifacts
+    completion_ns: Optional[int] = None
+    throughput_rps: Optional[float] = None
+
+
+def _spawn_with_neighbours(
+    system: KernelSystem,
+    workload: WorkloadProfile,
+    cpuset: Optional[Sequence[int]],
+    neighbours: Sequence[Tuple[WorkloadProfile, Optional[Sequence[int]]]],
+    seed: int,
+) -> Process:
+    target = workload.spawn(system, cpuset=cpuset, seed=seed)
+    for index, (profile, n_cpuset) in enumerate(neighbours):
+        profile.spawn(system, cpuset=n_cpuset, seed=seed + 1000 + index)
+    return target
+
+
+def run_traced_execution(
+    workload: str | WorkloadProfile,
+    scheme: str | TracingScheme,
+    node: Optional[SystemConfig] = None,
+    cpuset: Optional[Sequence[int]] = None,
+    neighbours: Sequence[Tuple[WorkloadProfile, Optional[Sequence[int]]]] = (),
+    seed: int = 7,
+    deadline_s: float = 30.0,
+    window_s: Optional[float] = None,
+    warmup_s: float = 0.1,
+) -> TracedRun:
+    """Run one (workload, scheme) pair on a fresh node.
+
+    Compute workloads run to completion (``completion_ns`` set); online
+    and service workloads run a warmup then a measurement window
+    (``throughput_rps`` set, default window 0.3 s).
+    """
+    profile = workload if isinstance(workload, WorkloadProfile) else get_workload(workload)
+    system = KernelSystem(node or SystemConfig.small_node(8, seed=seed))
+    target = _spawn_with_neighbours(system, profile, cpuset, neighbours, seed)
+    scheme_obj = scheme if isinstance(scheme, TracingScheme) else make_scheme(scheme)
+    scheme_obj.install(system, [target])
+
+    completion = None
+    throughput = None
+    if profile.kind.value == "compute":
+        finished = system.run_until_done([target], deadline_ns=int(deadline_s * SEC))
+        if not finished:
+            raise RuntimeError(
+                f"{profile.name} under {scheme_obj.name} missed the "
+                f"{deadline_s}s deadline"
+            )
+        completion = max(t.done_at for t in target.threads)
+    else:
+        window = window_s if window_s is not None else 0.3
+        before = system.process_requests(target)
+        system.run_for(int(warmup_s * SEC))
+        mid = system.process_requests(target)
+        system.run_for(int(window * SEC))
+        after = system.process_requests(target)
+        throughput = (after - mid) / window
+
+    artifacts = scheme_obj.artifacts()
+    scheme_obj.uninstall()
+    return TracedRun(
+        scheme=scheme_obj.name,
+        workload=profile.name,
+        system=system,
+        target=target,
+        artifacts=artifacts,
+        completion_ns=completion,
+        throughput_rps=throughput,
+    )
+
+
+def run_compute_slowdown(
+    workload: str,
+    schemes: Sequence[str] = SCHEME_ORDER,
+    node: Optional[SystemConfig] = None,
+    cpuset: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, float]:
+    """Normalized completion-time slowdowns of ``workload`` per scheme.
+
+    Returns scheme -> slowdown (1.0 = Oracle).  The Figure 13 primitive.
+    """
+    kwargs = scheme_kwargs or {}
+    times: Dict[str, int] = {}
+    for name in schemes:
+        scheme = make_scheme(name, **kwargs.get(name, {}))
+        run = run_traced_execution(
+            workload, scheme, node=node, cpuset=cpuset, seed=seed
+        )
+        assert run.completion_ns is not None
+        times[name] = run.completion_ns
+    oracle = times.get("Oracle")
+    if oracle is None:
+        raise ValueError("schemes must include Oracle for normalization")
+    return {name: t / oracle for name, t in times.items()}
+
+
+def run_online_throughput(
+    workload: str,
+    schemes: Sequence[str] = SCHEME_ORDER,
+    node: Optional[SystemConfig] = None,
+    cpuset: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    window_s: float = 0.3,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+) -> Dict[str, float]:
+    """Normalized throughput of ``workload`` per scheme (Figure 14).
+
+    Returns scheme -> normalized throughput (1.0 = Oracle, lower = worse).
+    """
+    kwargs = scheme_kwargs or {}
+    rps: Dict[str, float] = {}
+    for name in schemes:
+        scheme = make_scheme(name, **kwargs.get(name, {}))
+        run = run_traced_execution(
+            workload, scheme, node=node, cpuset=cpuset, seed=seed,
+            window_s=window_s,
+        )
+        assert run.throughput_rps is not None
+        rps[name] = run.throughput_rps
+    oracle = rps.get("Oracle")
+    if not oracle:
+        raise ValueError("schemes must include Oracle for normalization")
+    return {name: r / oracle for name, r in rps.items()}
+
+
+def slowdown_table(
+    workloads: Sequence[str],
+    schemes: Sequence[str] = SCHEME_ORDER,
+    **kwargs,
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> slowdown, for table-style figures."""
+    return {w: run_compute_slowdown(w, schemes, **kwargs) for w in workloads}
+
+
+def throughput_table(
+    workloads: Sequence[str],
+    schemes: Sequence[str] = SCHEME_ORDER,
+    **kwargs,
+) -> Dict[str, Dict[str, float]]:
+    """workload -> scheme -> normalized throughput."""
+    return {w: run_online_throughput(w, schemes, **kwargs) for w in workloads}

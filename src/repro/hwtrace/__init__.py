@@ -1,0 +1,78 @@
+"""Simulated hardware-tracing substrate (Intel Processor Trace model).
+
+The paper builds on real IPT: per-core tracers configured through RTIT
+MSRs, emitting TNT/TIP/TSC/PIP packets into ToPA-described memory
+buffers, decoded offline by libipt against the program binary.  This
+package models each piece:
+
+* :mod:`repro.hwtrace.cost` — the control-operation cost model (WRMSR,
+  mode switches, PMIs, buffer draining) whose operation *counts* are what
+  EXIST optimizes;
+* :mod:`repro.hwtrace.msr` — the RTIT register file, enforcing the
+  hardware rule that configuration changes require tracing disabled
+  (the root cause of per-context-switch control cost, §2.3);
+* :mod:`repro.hwtrace.packets` — binary packet encode/parse;
+* :mod:`repro.hwtrace.topa` — Table-of-Physical-Addresses output buffers
+  with stop-on-full (compulsory) and ring semantics;
+* :mod:`repro.hwtrace.tracer` — the per-core tracer consuming execution
+  slices from the scheduler;
+* :mod:`repro.hwtrace.decoder` — the software decoder reconstructing
+  control flow from dumped packets plus the binary.
+"""
+
+from repro.hwtrace.cost import CostModel, CostLedger
+from repro.hwtrace.msr import (
+    RTIT_CTL,
+    RTIT_STATUS,
+    RTIT_OUTPUT_BASE,
+    RTIT_OUTPUT_MASK_PTRS,
+    RTIT_CR3_MATCH,
+    CtlBits,
+    RtitMsrFile,
+    TraceEnabledError,
+)
+from repro.hwtrace.packets import (
+    Packet,
+    PsbPacket,
+    TscPacket,
+    PipPacket,
+    TipPacket,
+    TntPacket,
+    OvfPacket,
+    encode_packets,
+    parse_stream,
+)
+from repro.hwtrace.topa import ToPAEntry, ToPAOutput, OutputMode
+from repro.hwtrace.tracer import CoreTracer, TraceSegment, VolumeModel
+from repro.hwtrace.decoder import SoftwareDecoder, DecodedTrace, DecodedRecord
+
+__all__ = [
+    "CostModel",
+    "CostLedger",
+    "RTIT_CTL",
+    "RTIT_STATUS",
+    "RTIT_OUTPUT_BASE",
+    "RTIT_OUTPUT_MASK_PTRS",
+    "RTIT_CR3_MATCH",
+    "CtlBits",
+    "RtitMsrFile",
+    "TraceEnabledError",
+    "Packet",
+    "PsbPacket",
+    "TscPacket",
+    "PipPacket",
+    "TipPacket",
+    "TntPacket",
+    "OvfPacket",
+    "encode_packets",
+    "parse_stream",
+    "ToPAEntry",
+    "ToPAOutput",
+    "OutputMode",
+    "CoreTracer",
+    "TraceSegment",
+    "VolumeModel",
+    "SoftwareDecoder",
+    "DecodedTrace",
+    "DecodedRecord",
+]

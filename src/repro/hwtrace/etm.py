@@ -1,0 +1,228 @@
+"""ARM Embedded Trace Macrocell (ETM) backend.
+
+The paper's §6.2 first future-work item: extend EXIST beyond Intel PT to
+ARM (ETM) and RISC-V processors — "the efficient abstraction designs can
+be easily extended to other platforms".  This module demonstrates that:
+an ETM-flavoured per-core tracer exposing the same control surface the
+facility drives, differing exactly where the architectures differ:
+
+* configuration through memory-mapped trace registers (TRCPRGCTLR,
+  TRCCONFIGR, TRCCIDCVR...) behind an OS Lock, not MSRs — cheaper
+  individual writes, but an unlock/lock bracket around reprogramming;
+* process filtering by context ID comparator (TRCCIDCVR) instead of CR3;
+* a denser packet encoding (ETM compresses harder than IPT: Atom
+  packets pack more branches per byte).
+
+:class:`EtmCoreTracer` is drop-in compatible with
+:class:`~repro.hwtrace.tracer.CoreTracer` (the facility selects the
+backend by name), so every EXIST mechanism — OTC's enable-on-first-
+schedule-in, UMA's buffers, RCO — runs unchanged on the ARM model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hwtrace.cost import CostLedger
+from repro.hwtrace.tracer import TraceSegment, VolumeModel
+from repro.hwtrace.topa import ToPAOutput
+from repro.program.path import PathModel
+
+# trace-unit register offsets (CoreSight ETMv4)
+TRCPRGCTLR = 0x004  # programming control: bit0 = trace enable
+TRCCONFIGR = 0x010  # config: branch broadcast, cycle counting...
+TRCCIDCVR0 = 0x650  # context-ID comparator value
+TRCOSLAR = 0x300  # OS lock access
+
+
+class EtmLockError(RuntimeError):
+    """Raised when programming registers are written while locked/enabled."""
+
+
+@dataclass(frozen=True)
+class EtmVolumeModel(VolumeModel):
+    """ETM packs branches more densely than IPT (Atom packet runs)."""
+
+    tnt_bytes_per_branch: float = 1.0 / 8.0  # Atom packets: ~8 branches/byte
+    tip_bytes: float = 3.5  # Address packets, exception-level compressed
+
+
+class EtmRegisterFile:
+    """Memory-mapped trace registers with ETM programming rules.
+
+    Reprogramming requires the trace unit disabled *and* the OS lock
+    open; individual MMIO writes are cheaper than serializing WRMSRs, but
+    the unlock/program/lock bracket adds fixed overhead per control
+    action — a different cost shape, same O(operations) structure.
+    """
+
+    MMIO_WRITE_NS = 300
+    UNLOCK_NS = 500
+
+    def __init__(self, core_id: int, ledger: CostLedger):
+        self.core_id = core_id
+        self._ledger = ledger
+        self._regs: Dict[int, int] = {
+            TRCPRGCTLR: 0, TRCCONFIGR: 0, TRCCIDCVR0: 0, TRCOSLAR: 1
+        }
+        self.write_count = 0
+
+    @property
+    def trace_enabled(self) -> bool:
+        return bool(self._regs[TRCPRGCTLR] & 1)
+
+    @property
+    def os_locked(self) -> bool:
+        return bool(self._regs[TRCOSLAR])
+
+    @property
+    def cr3_match(self) -> int:
+        """Context-ID comparator (the CR3-filter equivalent)."""
+        return self._regs[TRCCIDCVR0]
+
+    def write(self, offset: int, value: int) -> None:
+        """MMIO register write, enforcing lock/enable rules."""
+        if offset not in self._regs:
+            raise ValueError(f"unknown ETM register {offset:#x}")
+        if offset == TRCOSLAR:
+            self._ledger.charge("etm_unlock", self.UNLOCK_NS)
+            self._regs[offset] = value
+            self.write_count += 1
+            return
+        if offset != TRCPRGCTLR:
+            if self.trace_enabled:
+                raise EtmLockError(
+                    f"ETM register {offset:#x} write requires trace disabled"
+                )
+            if self.os_locked:
+                raise EtmLockError("ETM programming requires the OS lock open")
+        self._ledger.charge("etm_mmio", self.MMIO_WRITE_NS)
+        self._regs[offset] = value
+        self.write_count += 1
+
+    def configure(
+        self,
+        flags: object = None,
+        cr3_match: Optional[int] = None,
+        output_base: Optional[int] = None,
+    ) -> None:
+        """CoreTracer-compatible configuration entry point."""
+        if self.trace_enabled:
+            raise EtmLockError("configure requires trace disabled")
+        self.write(TRCOSLAR, 0)  # unlock
+        self.write(TRCCONFIGR, 0b1011)  # branch broadcast + cycle count
+        if cr3_match is not None:
+            self.write(TRCCIDCVR0, cr3_match)
+        self.write(TRCOSLAR, 1)  # relock
+
+    def enable(self) -> None:
+        """Start tracing (TRCPRGCTLR.EN)."""
+        self._ledger.charge("etm_mmio", self.MMIO_WRITE_NS)
+        self._regs[TRCPRGCTLR] |= 1
+        self.write_count += 1
+
+    def disable(self) -> None:
+        """Stop tracing; a no-op (and free) when already stopped."""
+        if not self.trace_enabled:
+            return
+        self._ledger.charge("etm_mmio", self.MMIO_WRITE_NS)
+        self._regs[TRCPRGCTLR] &= ~1
+        self.write_count += 1
+
+
+class EtmCoreTracer:
+    """Per-core ETM trace unit, drop-in for :class:`CoreTracer`."""
+
+    def __init__(
+        self,
+        core_id: int,
+        ledger: CostLedger,
+        volume: Optional[VolumeModel] = None,
+        hot_switching: bool = False,
+    ):
+        self.core_id = core_id
+        self.msr = EtmRegisterFile(core_id, ledger)  # facility-facing name
+        self.volume = volume or EtmVolumeModel()
+        self.output: Optional[ToPAOutput] = None
+        self.segments: List[TraceSegment] = []
+        self.filtered_slices = 0
+        self.overflow_slices = 0
+
+    # -- facility-facing surface (mirrors CoreTracer) -------------------------
+
+    def attach_output(self, output: ToPAOutput) -> None:
+        """Point the trace unit at an ETR buffer (our ToPA stand-in)."""
+        if self.msr.trace_enabled:
+            raise EtmLockError("ETR reprogramming requires trace disabled")
+        self.output = output
+
+    @property
+    def enabled(self) -> bool:
+        return self.msr.trace_enabled
+
+    @property
+    def cr3_filtering(self) -> bool:
+        return self.msr.cr3_match != 0
+
+    def observe_slice(
+        self,
+        pid: int,
+        tid: int,
+        cr3: int,
+        t_start: int,
+        t_end: int,
+        event_start: int,
+        event_end: int,
+        branches: int,
+        path_model: PathModel,
+    ) -> Optional[TraceSegment]:
+        """Consider one slice for capture (same contract as CoreTracer)."""
+        if not self.enabled:
+            return None
+        if self.cr3_filtering and self.msr.cr3_match not in (0, cr3):
+            self.filtered_slices += 1
+            return None
+        if self.output is None:
+            raise RuntimeError(f"ETM {self.core_id} enabled without ETR buffer")
+        offered = float(
+            math.ceil(self.volume.slice_bytes(branches, path_model.indirect_fraction))
+        )
+        accepted = self.output.write(offered)
+        n_events = event_end - event_start
+        if accepted <= 0:
+            self.overflow_slices += 1
+            return None
+        captured_end = (
+            event_end
+            if accepted >= offered
+            else event_start + int(n_events * (accepted / offered))
+        )
+        segment = TraceSegment(
+            core_id=self.core_id, pid=pid, tid=tid, cr3=cr3,
+            t_start=t_start, t_end=t_end,
+            event_start=event_start, event_end=event_end,
+            captured_event_end=captured_end,
+            bytes_offered=offered, bytes_accepted=accepted,
+            path_model=path_model,
+        )
+        self.segments.append(segment)
+        return segment
+
+    def take_segments(self) -> List[TraceSegment]:
+        """Remove and return all captured segments (trace dump)."""
+        segments, self.segments = self.segments, []
+        return segments
+
+    def reset(self) -> None:
+        """Clear capture state for a new tracing period."""
+        self.segments.clear()
+        self.filtered_slices = 0
+        self.overflow_slices = 0
+        if self.output is not None:
+            self.output.reset()
+
+    @property
+    def bytes_captured(self) -> float:
+        return sum(s.bytes_accepted for s in self.segments)

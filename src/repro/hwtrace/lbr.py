@@ -1,0 +1,80 @@
+"""Last Branch Record (LBR) model.
+
+The paper positions IPT against its predecessors (§6.1): LBR keeps only
+the 16 or 32 most recent branch pairs in a register stack — near-zero
+overhead, but coverage limited to the last handful of control transfers,
+which is why it cannot support intra-service *tracing* (it is what
+samplers attach to a PMI for short call-chain context).
+
+Modeled faithfully: a fixed-depth stack of (from, to) block transitions,
+fed from the same symbolic event stream as the tracers, snapshotable at
+any instant (the PMI use case).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.program.path import PathModel
+
+
+@dataclass(frozen=True)
+class BranchPair:
+    """One LBR entry: a (source block, target block) transition."""
+
+    from_block: int
+    to_block: int
+
+
+class LastBranchRecord:
+    """A fixed-depth last-branch stack (Skylake: 32 entries).
+
+    ``record_range`` folds a symbolic event range in; only the newest
+    ``depth`` transitions survive — O(1) state regardless of how much
+    execution passed, which is both LBR's virtue and its limitation.
+    """
+
+    def __init__(self, depth: int = 32):
+        if depth not in (16, 32):
+            raise ValueError("LBR depth is 16 or 32 on real hardware")
+        self.depth = depth
+        self._stack: Deque[BranchPair] = deque(maxlen=depth)
+        self.total_recorded = 0
+
+    def record_range(
+        self, path: PathModel, event_start: int, event_end: int
+    ) -> None:
+        """Fold the transitions of [event_start, event_end) into the stack.
+
+        Only the last ``depth`` transitions can matter, so arbitrarily
+        long ranges cost O(depth).
+        """
+        if event_end <= event_start:
+            return
+        span = event_end - event_start
+        self.total_recorded += span
+        keep_from = max(event_start, event_end - (self.depth + 1))
+        events = path.events(keep_from, event_end).tolist()
+        for from_block, to_block in zip(events, events[1:]):
+            self._stack.append(BranchPair(int(from_block), int(to_block)))
+
+    def snapshot(self) -> List[BranchPair]:
+        """The PMI-time read-out: newest last."""
+        return list(self._stack)
+
+    @property
+    def entries(self) -> int:
+        return len(self._stack)
+
+    def coverage_fraction(self) -> float:
+        """How much of everything recorded is still visible (tiny)."""
+        if self.total_recorded == 0:
+            return 1.0
+        return min(1.0, self.entries / self.total_recorded)
+
+    def clear(self) -> None:
+        """Empty the stack and the recording counter."""
+        self._stack.clear()
+        self.total_recorded = 0

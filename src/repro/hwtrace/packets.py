@@ -1,0 +1,258 @@
+"""Trace packet formats: encode and parse.
+
+A simplified-but-binary Intel PT packet vocabulary.  Formats follow the
+SDM's framing closely enough that sizes and stream structure are
+realistic; payload semantics are adapted to the simulator's symbolic
+control-flow events (each TIP carries a full 6-byte target address; TNT
+bytes carry representative conditional-branch bits).
+
+Packet layout summary::
+
+    PSB   02 82 x8                       (16 bytes) stream sync boundary
+    OVF   02 F3                          ( 2 bytes) data lost marker
+    PIP   02 43 + 6-byte CR3             ( 8 bytes) process context change
+    TSC   19 + 7-byte timestamp          ( 8 bytes)
+    TIP   0D + 6-byte target address     ( 7 bytes) change-of-flow target
+    TNT   one byte, bit0=0: bits 7..2 are branch outcomes, bit1 stop marker
+
+The parser is strict: unknown framing raises :class:`PacketError`, and a
+truncated trailing packet is reported, not silently dropped — decode
+robustness is part of what the tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+PSB_BYTES = b"\x02\x82" * 8
+OVF_BYTES = b"\x02\xf3"
+_EXT_PREFIX = 0x02
+_EXT_PSB = 0x82
+_EXT_OVF = 0xF3
+_EXT_PIP = 0x43
+_EXT_PTW = 0x12
+_TSC_HEADER = 0x19
+_TIP_HEADER = 0x0D
+
+
+class PacketError(ValueError):
+    """Malformed packet stream."""
+
+
+@dataclass(frozen=True)
+class PsbPacket:
+    """Synchronization boundary; decoders resync here after data loss."""
+
+    def encode(self) -> bytes:
+        """Serialize to the 16-byte PSB pattern."""
+        return PSB_BYTES
+
+
+@dataclass(frozen=True)
+class OvfPacket:
+    """Overflow: the hardware dropped packets after this point."""
+
+    def encode(self) -> bytes:
+        """Serialize to the 2-byte OVF marker."""
+        return OVF_BYTES
+
+
+@dataclass(frozen=True)
+class PipPacket:
+    """Paging Information Packet: CR3 of the newly scheduled process."""
+
+    cr3: int
+
+    def encode(self) -> bytes:
+        """Serialize: extended opcode + 6-byte little-endian CR3."""
+        if not 0 <= self.cr3 < (1 << 48):
+            raise PacketError(f"CR3 {self.cr3:#x} out of 48-bit range")
+        return bytes((_EXT_PREFIX, _EXT_PIP)) + self.cr3.to_bytes(6, "little")
+
+
+@dataclass(frozen=True)
+class TscPacket:
+    """Timestamp (ns in this model; TSC ticks on real hardware)."""
+
+    timestamp: int
+
+    def encode(self) -> bytes:
+        """Serialize: TSC header + 7-byte little-endian timestamp."""
+        if not 0 <= self.timestamp < (1 << 56):
+            raise PacketError(f"timestamp {self.timestamp} out of range")
+        return bytes((_TSC_HEADER,)) + self.timestamp.to_bytes(7, "little")
+
+
+@dataclass(frozen=True)
+class TipPacket:
+    """Target IP: the address control flow transferred to."""
+
+    address: int
+
+    def encode(self) -> bytes:
+        """Serialize: TIP header + 6-byte little-endian address."""
+        if not 0 <= self.address < (1 << 48):
+            raise PacketError(f"address {self.address:#x} out of 48-bit range")
+        return bytes((_TIP_HEADER,)) + self.address.to_bytes(6, "little")
+
+
+@dataclass(frozen=True)
+class PtwPacket:
+    """PTWRITE payload: a software-chosen 8-byte value in the trace.
+
+    The §6.1 data-flow enhancement: instrumented code can inject variable
+    values into the control-flow stream (``02 12`` + 8-byte payload).
+    """
+
+    value: int
+
+    def encode(self) -> bytes:
+        """Serialize: extended opcode + 8-byte little-endian payload."""
+        if not 0 <= self.value < (1 << 64):
+            raise PacketError(f"PTWRITE value {self.value} out of 64-bit range")
+        return bytes((_EXT_PREFIX, _EXT_PTW)) + self.value.to_bytes(8, "little")
+
+
+@dataclass(frozen=True)
+class TntPacket:
+    """Taken/Not-Taken bits for up to 6 conditional branches."""
+
+    bits: Tuple[bool, ...]
+
+    def encode(self) -> bytes:
+        """Serialize to one byte: payload bits below a stop marker."""
+        if not 1 <= len(self.bits) <= 6:
+            raise PacketError("TNT packet carries 1-6 branch bits")
+        value = 0
+        for i, bit in enumerate(self.bits):
+            if bit:
+                value |= 1 << (1 + i)
+        value |= 1 << (1 + len(self.bits))  # stop marker above last bit
+        # bit0 stays 0 to distinguish from TSC/TIP headers (which are odd)
+        return bytes((value,))
+
+
+Packet = Union[
+    PsbPacket, OvfPacket, PipPacket, TscPacket, TipPacket, TntPacket, PtwPacket
+]
+
+
+def encode_packets(packets: Sequence[Packet]) -> bytes:
+    """Concatenate the binary encodings of ``packets``."""
+    return b"".join(p.encode() for p in packets)
+
+
+def _parse_tnt(byte: int) -> TntPacket:
+    # the stop marker is the highest set bit; payload sits below it
+    if byte & 0x01:
+        raise PacketError(f"not a TNT byte: {byte:#04x}")
+    stop = byte.bit_length() - 1
+    if stop < 2:
+        raise PacketError(f"TNT byte without payload: {byte:#04x}")
+    bits = tuple(bool(byte & (1 << (1 + i))) for i in range(stop - 1))
+    return TntPacket(bits)
+
+
+def _parse(data: bytes, start: int) -> "Tuple[List[Packet], Optional[int]]":
+    """Parse from ``start``; returns (packets, error_offset-or-None)."""
+    packets: List[Packet] = []
+    i = start
+    n = len(data)
+    while i < n:
+        b0 = data[i]
+        if b0 == _EXT_PREFIX:
+            if i + 1 >= n:
+                raise PacketError(f"truncated extended packet at offset {i}")
+            b1 = data[i + 1]
+            if b1 == _EXT_PSB:
+                if data[i : i + 16] != PSB_BYTES:
+                    raise PacketError(f"corrupt PSB at offset {i}")
+                packets.append(PsbPacket())
+                i += 16
+            elif b1 == _EXT_OVF:
+                packets.append(OvfPacket())
+                i += 2
+            elif b1 == _EXT_PIP:
+                if i + 8 > n:
+                    raise PacketError(f"truncated PIP at offset {i}")
+                cr3 = int.from_bytes(data[i + 2 : i + 8], "little")
+                packets.append(PipPacket(cr3))
+                i += 8
+            elif b1 == _EXT_PTW:
+                if i + 10 > n:
+                    raise PacketError(f"truncated PTWRITE at offset {i}")
+                value = int.from_bytes(data[i + 2 : i + 10], "little")
+                packets.append(PtwPacket(value))
+                i += 10
+            else:
+                raise PacketError(
+                    f"unknown extended opcode {b1:#04x} at offset {i}"
+                )
+        elif b0 == _TSC_HEADER:
+            if i + 8 > n:
+                raise PacketError(f"truncated TSC at offset {i}")
+            packets.append(TscPacket(int.from_bytes(data[i + 1 : i + 8], "little")))
+            i += 8
+        elif b0 == _TIP_HEADER:
+            if i + 7 > n:
+                raise PacketError(f"truncated TIP at offset {i}")
+            packets.append(TipPacket(int.from_bytes(data[i + 1 : i + 7], "little")))
+            i += 7
+        elif (b0 & 0x01) == 0 and b0 != 0:
+            packets.append(_parse_tnt(b0))
+            i += 1
+        else:
+            raise PacketError(f"unrecognized packet header {b0:#04x} at offset {i}")
+    return packets, None
+
+
+def parse_stream(data: bytes) -> List[Packet]:
+    """Parse a packet stream; raises :class:`PacketError` on bad framing."""
+    packets, _ = _parse(data, 0)
+    return packets
+
+
+def parse_stream_resilient(data: bytes) -> "Tuple[List[Packet], int]":
+    """Parse with PSB resynchronization on corruption.
+
+    Real decoders never give up on a damaged stream: on a framing error
+    they keep everything parsed so far, scan forward to the next PSB (the
+    sync boundary emitted every 4 KiB), and resume.  Returns
+    (packets, resync_count).
+    """
+    packets: List[Packet] = []
+    resyncs = 0
+    offset = 0
+    while offset < len(data):
+        chunk, error_offset = _parse_or_error(data, offset)
+        packets.extend(chunk)
+        if error_offset is None:
+            break
+        resyncs += 1
+        next_psb = data.find(PSB_BYTES, error_offset + 1)
+        if next_psb == -1:
+            break
+        offset = next_psb
+    return packets, resyncs
+
+
+def _parse_or_error(data: bytes, start: int):
+    """Run :func:`_parse` but convert the exception into an offset."""
+    packets: List[Packet] = []
+    i = start
+    while True:
+        try:
+            chunk, _ = _parse(data, i)
+        except PacketError as exc:
+            # the message carries "at offset N" relative to the buffer
+            message = str(exc)
+            marker = "at offset "
+            position = message.rfind(marker)
+            error_offset = int(message[position + len(marker):]) if position >= 0 else i
+            # reparse the clean prefix only
+            clean, _ = _parse(data[:error_offset], i)
+            packets.extend(clean)
+            return packets, error_offset
+        packets.extend(chunk)
+        return packets, None

@@ -1,0 +1,202 @@
+"""RISC-V Processor Trace (E-Trace) backend.
+
+Completes the paper's §6.2 platform list (IPT, ARM ETM, RISC-V).  The
+RISC-V Efficient Trace spec differs from both x86 and ARM in ways this
+model keeps:
+
+* the trace encoder is controlled through memory-mapped ``trTeControl``
+  registers with an active/enable two-step (no MSRs, no OS lock);
+* branch outcomes are batched into *branch-map* packets of up to 31
+  branches, denser than IPT's 6-per-byte TNT but with larger sync
+  (``te_inst`` format 3) packets carrying the full address and context;
+* filtering is by context (``trTeContext``) like ETM, not CR3.
+
+Like :class:`~repro.hwtrace.etm.EtmCoreTracer`, drop-in compatible with
+the facility: EXIST's control structure is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hwtrace.cost import CostLedger
+from repro.hwtrace.tracer import TraceSegment, VolumeModel
+from repro.hwtrace.topa import ToPAOutput
+from repro.program.path import PathModel
+
+# memory-mapped trace-encoder registers (RISC-V E-Trace / Sifive-style)
+TR_TE_CONTROL = 0x000  # bit0 teActive, bit1 teEnable
+TR_TE_IMPL = 0x004
+TR_TE_CONTEXT = 0x010  # context filter (ASID/process)
+
+
+class TeControlError(RuntimeError):
+    """Raised on illegal encoder programming sequences."""
+
+
+@dataclass(frozen=True)
+class RiscvVolumeModel(VolumeModel):
+    """Branch-map packets: up to 31 branches per ~5-byte packet."""
+
+    tnt_bytes_per_branch: float = 5.0 / 31.0
+    tip_bytes: float = 2.5  # differential address (format 1/2) packets
+    segment_header_bytes: int = 24  # format-3 sync packet
+
+
+class RiscvTeRegisterFile:
+    """The encoder's control registers with the active/enable protocol.
+
+    ``teActive`` powers the encoder; ``teEnable`` starts tracing.
+    Reprogramming context/filters requires ``teEnable = 0`` (tracing
+    stopped) but may keep ``teActive`` set — a middle ground between
+    IPT's disable-everything and ETM's lock dance.
+    """
+
+    MMIO_WRITE_NS = 250
+
+    def __init__(self, core_id: int, ledger: CostLedger):
+        self.core_id = core_id
+        self._ledger = ledger
+        self._regs: Dict[int, int] = {
+            TR_TE_CONTROL: 0, TR_TE_IMPL: 0x1, TR_TE_CONTEXT: 0
+        }
+        self.write_count = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._regs[TR_TE_CONTROL] & 1)
+
+    @property
+    def trace_enabled(self) -> bool:
+        return bool(self._regs[TR_TE_CONTROL] & 2)
+
+    @property
+    def cr3_match(self) -> int:
+        """Context filter (facility-facing name kept for compatibility)."""
+        return self._regs[TR_TE_CONTEXT]
+
+    def write(self, offset: int, value: int) -> None:
+        """MMIO register write, enforcing the teEnable rule."""
+        if offset not in self._regs:
+            raise ValueError(f"unknown te register {offset:#x}")
+        if offset == TR_TE_CONTEXT and self.trace_enabled:
+            raise TeControlError("trTeContext write requires teEnable=0")
+        self._ledger.charge("te_mmio", self.MMIO_WRITE_NS)
+        self._regs[offset] = value
+        self.write_count += 1
+
+    def configure(
+        self,
+        flags: object = None,
+        cr3_match: Optional[int] = None,
+        output_base: Optional[int] = None,
+    ) -> None:
+        """CoreTracer-compatible configuration entry point."""
+        if self.trace_enabled:
+            raise TeControlError("configure requires teEnable=0")
+        self.write(TR_TE_CONTROL, 1)  # teActive
+        if cr3_match is not None:
+            self.write(TR_TE_CONTEXT, cr3_match)
+
+    def enable(self) -> None:
+        """Start tracing (teEnable); requires teActive."""
+        if not self.active:
+            raise TeControlError("teEnable requires teActive")
+        self._ledger.charge("te_mmio", self.MMIO_WRITE_NS)
+        self._regs[TR_TE_CONTROL] |= 2
+        self.write_count += 1
+
+    def disable(self) -> None:
+        """Stop tracing; free when already stopped."""
+        if not self.trace_enabled:
+            return
+        self._ledger.charge("te_mmio", self.MMIO_WRITE_NS)
+        self._regs[TR_TE_CONTROL] &= ~2
+        self.write_count += 1
+
+
+class RiscvCoreTracer:
+    """Per-hart trace encoder, drop-in for :class:`CoreTracer`."""
+
+    def __init__(
+        self,
+        core_id: int,
+        ledger: CostLedger,
+        volume: Optional[VolumeModel] = None,
+        hot_switching: bool = False,
+    ):
+        self.core_id = core_id
+        self.msr = RiscvTeRegisterFile(core_id, ledger)
+        self.volume = volume or RiscvVolumeModel()
+        self.output: Optional[ToPAOutput] = None
+        self.segments: List[TraceSegment] = []
+        self.filtered_slices = 0
+        self.overflow_slices = 0
+
+    def attach_output(self, output: ToPAOutput) -> None:
+        """Point the encoder at its trace sink buffer."""
+        if self.msr.trace_enabled:
+            raise TeControlError("sink reprogramming requires teEnable=0")
+        self.output = output
+
+    @property
+    def enabled(self) -> bool:
+        return self.msr.trace_enabled
+
+    @property
+    def cr3_filtering(self) -> bool:
+        return self.msr.cr3_match != 0
+
+    def observe_slice(
+        self, pid: int, tid: int, cr3: int, t_start: int, t_end: int,
+        event_start: int, event_end: int, branches: int, path_model: PathModel,
+    ) -> Optional[TraceSegment]:
+        """Consider one slice for capture (same contract as CoreTracer)."""
+        if not self.enabled:
+            return None
+        if self.cr3_filtering and self.msr.cr3_match not in (0, cr3):
+            self.filtered_slices += 1
+            return None
+        if self.output is None:
+            raise RuntimeError(f"encoder {self.core_id} enabled without sink")
+        offered = float(math.ceil(
+            self.volume.slice_bytes(branches, path_model.indirect_fraction)
+        ))
+        accepted = self.output.write(offered)
+        n_events = event_end - event_start
+        if accepted <= 0:
+            self.overflow_slices += 1
+            return None
+        captured_end = (
+            event_end if accepted >= offered
+            else event_start + int(n_events * (accepted / offered))
+        )
+        segment = TraceSegment(
+            core_id=self.core_id, pid=pid, tid=tid, cr3=cr3,
+            t_start=t_start, t_end=t_end,
+            event_start=event_start, event_end=event_end,
+            captured_event_end=captured_end,
+            bytes_offered=offered, bytes_accepted=accepted,
+            path_model=path_model,
+        )
+        self.segments.append(segment)
+        return segment
+
+    def take_segments(self) -> List[TraceSegment]:
+        """Remove and return all captured segments (trace dump)."""
+        segments, self.segments = self.segments, []
+        return segments
+
+    def reset(self) -> None:
+        """Clear capture state for a new tracing period."""
+        self.segments.clear()
+        self.filtered_slices = 0
+        self.overflow_slices = 0
+        if self.output is not None:
+            self.output.reset()
+
+    @property
+    def bytes_captured(self) -> float:
+        return sum(s.bytes_accepted for s in self.segments)

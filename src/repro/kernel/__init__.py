@@ -1,0 +1,44 @@
+"""Simulated operating-system substrate.
+
+The paper's EXIST runs as a Linux kernel extension on real Intel servers.
+This package provides the equivalent substrate as a discrete-event
+simulation: CPU topology with hyperthreads and shared LLC domains
+(:mod:`repro.kernel.cpu`), processes and threads (:mod:`repro.kernel.task`),
+a CFS-like scheduler that produces ``sched_switch`` events
+(:mod:`repro.kernel.scheduler`), kernel tracepoints that hooks can attach
+to (:mod:`repro.kernel.tracepoints`), high-resolution timers
+(:mod:`repro.kernel.timer`), and a syscall layer
+(:mod:`repro.kernel.syscalls`), all driven by the event core in
+:mod:`repro.kernel.events` and assembled into a bootable node by
+:mod:`repro.kernel.system`.
+"""
+
+from repro.kernel.events import Simulator, Event
+from repro.kernel.cpu import CpuTopology, LogicalCore, InterferenceModel
+from repro.kernel.task import Process, Thread, ThreadState
+from repro.kernel.tracepoints import TracepointRegistry, SchedSwitchRecord
+from repro.kernel.timer import HighResolutionTimer
+from repro.kernel.syscalls import SyscallTable, SyscallSpec
+from repro.kernel.scheduler import Scheduler, SchedulerConfig
+from repro.kernel.system import KernelSystem, SystemConfig, RunSummary
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "CpuTopology",
+    "LogicalCore",
+    "InterferenceModel",
+    "Process",
+    "Thread",
+    "ThreadState",
+    "TracepointRegistry",
+    "SchedSwitchRecord",
+    "HighResolutionTimer",
+    "SyscallTable",
+    "SyscallSpec",
+    "Scheduler",
+    "SchedulerConfig",
+    "KernelSystem",
+    "SystemConfig",
+    "RunSummary",
+]

@@ -1,0 +1,133 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop over integer-nanosecond virtual time.  Events
+are callbacks ordered by (time, sequence); the sequence number makes
+ordering fully deterministic when events share a timestamp.  Events can be
+cancelled in O(1) (lazy deletion on pop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Cancelling an event is cheap: the heap entry is tombstoned and skipped
+    when popped.  An event fires at most once.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """The virtual clock and event queue for one simulated node.
+
+    All simulated components (scheduler, timers, tracers, load generators)
+    share one :class:`Simulator`.  Time never moves backwards; scheduling
+    an event in the past raises ``ValueError``.
+    """
+
+    def __init__(self, start_time: int = 0):
+        self.now: int = start_time
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, at: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at absolute virtual time ``at``."""
+        if at < self.now:
+            raise ValueError(f"cannot schedule at {at} < now {self.now}")
+        self._seq += 1
+        event = Event(at, self._seq, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    # -- execution --------------------------------------------------------
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise RuntimeError("event heap corrupted: time went backwards")
+            self.now = event.time
+            event.fired = True
+            self._events_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, deadline: int, max_events: Optional[int] = None) -> int:
+        """Run events up to and including ``deadline``.
+
+        Returns the number of events fired.  Advances ``now`` to
+        ``deadline`` even if the queue drains earlier, so measurement
+        windows have well-defined ends.
+        """
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            if max_events is not None and fired >= max_events:
+                break
+            self.step()
+            fired += 1
+        if self.now < deadline:
+            self.now = deadline
+        return fired
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain.  Guards against runaway loops."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a livelock"
+                )
+        return fired
+
+    @property
+    def events_fired(self) -> int:
+        """Total events fired since construction (for sanity checks)."""
+        return self._events_fired

@@ -1,0 +1,414 @@
+"""CFS-like scheduler over the simulated topology.
+
+Threads run in bounded slices; every core-local switch from one thread to
+another fires the ``sched_switch`` tracepoint, whose hooks may charge
+kernel time — this is precisely the path EXIST optimizes, so the fidelity
+of switch counting matters more here than scheduling-policy details.  The
+policy is a simplified CFS: per-core run queues ordered by virtual
+runtime, wakeup placement on the least-loaded allowed core, and no
+mid-slice preemption (slices are short enough that latency effects are
+captured at slice granularity).
+
+Tracing facilities integrate through :class:`SchedulerHooks`:
+
+* ``slice_tax`` — continuous CPU fraction stolen from a running thread
+  (per-branch tracing tax, PMI sampling, perf's buffer draining, ...);
+* ``wants_path`` — whether a hardware tracer needs the symbolic
+  control-flow chunk for the thread's next slice;
+* ``on_slice`` — delivery of each finished slice (the per-core tracer
+  consumes branch counts and path chunks here).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.kernel.cpu import CpuTopology, LogicalCore
+from repro.kernel.events import Simulator
+from repro.kernel.syscalls import SyscallTable
+from repro.kernel.task import (
+    SLICE_DONE,
+    SLICE_SYSCALL,
+    SLICE_TIMESLICE,
+    SLICE_YIELD,
+    SliceResult,
+    Thread,
+    ThreadState,
+)
+from repro.kernel.tracepoints import (
+    SCHED_SWITCH,
+    SYS_ENTER,
+    SchedSwitchRecord,
+    SyscallRecord,
+    TracepointRegistry,
+)
+from repro.util.rng import RngFactory
+from repro.util.units import MSEC, USEC
+
+
+class SchedulerHooks(Protocol):
+    """Integration surface for tracing facilities (duck-typed)."""
+
+    def slice_tax(self, thread: Thread, core: LogicalCore) -> float:
+        """Continuous CPU fraction stolen while ``thread`` runs."""
+        ...  # pragma: no cover - protocol
+
+    def wants_path(self, thread: Thread, core: LogicalCore) -> bool:
+        """Whether a tracer wants the next slice's path chunk."""
+        ...  # pragma: no cover - protocol
+
+    def on_slice(
+        self, core: LogicalCore, thread: Thread, start_ns: int, result: SliceResult
+    ) -> None:
+        """Delivery of each finished slice."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SchedulerConfig:
+    """Scheduler timing constants (Linux-ish defaults)."""
+
+    timeslice_ns: int = 2 * MSEC
+    context_switch_cost_ns: int = 2 * USEC
+    migration_cost_ns: int = 4 * USEC
+    #: wakeup vruntime bonus, as a fraction of one timeslice
+    wakeup_bonus: float = 0.5
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    vruntime: float
+    tid: int
+    thread: Thread = field(compare=False)
+    valid: bool = field(default=True, compare=False)
+
+
+class _RunQueue:
+    """Min-vruntime queue with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._entries: Dict[int, _QueueEntry] = {}
+        self.min_vruntime: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, thread: Thread) -> None:
+        if thread.tid in self._entries:
+            raise RuntimeError(f"{thread} already enqueued")
+        entry = _QueueEntry(thread.vruntime, thread.tid, thread)
+        self._entries[thread.tid] = entry
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Optional[Thread]:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.valid:
+                continue
+            del self._entries[entry.tid]
+            self.min_vruntime = max(self.min_vruntime, entry.vruntime)
+            return entry.thread
+        return None
+
+    def remove(self, thread: Thread) -> bool:
+        entry = self._entries.pop(thread.tid, None)
+        if entry is None:
+            return False
+        entry.valid = False
+        return True
+
+
+class Scheduler:
+    """Drives thread execution over all cores of one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: CpuTopology,
+        tracepoints: TracepointRegistry,
+        syscalls: SyscallTable,
+        rng: RngFactory,
+        config: Optional[SchedulerConfig] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.tracepoints = tracepoints
+        self.syscalls = syscalls
+        self.config = config or SchedulerConfig()
+        self._rng = rng.stream("scheduler")
+        self._queues: Dict[int, _RunQueue] = {
+            core.core_id: _RunQueue() for core in topology.cores
+        }
+        self._hooks: List[SchedulerHooks] = []
+        self.total_context_switches = 0
+        self.total_migrations = 0
+        #: (timestamp, cpu, pid, tid) log of switches, kept only if enabled
+        self.switch_log: Optional[List[Tuple[int, int, int, int]]] = None
+        self._threads: List[Thread] = []
+
+    # -- facility integration ----------------------------------------------
+
+    def add_hooks(self, hooks: SchedulerHooks) -> None:
+        """Register a tracing facility's hook surface."""
+        self._hooks.append(hooks)
+
+    def remove_hooks(self, hooks: SchedulerHooks) -> None:
+        """Unregister a previously added hook surface."""
+        self._hooks.remove(hooks)
+
+    def enable_switch_log(self) -> None:
+        """Retain a (timestamp, cpu, pid, tid) record per context switch."""
+        self.switch_log = []
+
+    # -- thread admission ----------------------------------------------------
+
+    def add_thread(self, thread: Thread, preferred_core: Optional[int] = None) -> None:
+        """Admit a READY thread; it starts running as cores become free."""
+        if thread.state is not ThreadState.READY:
+            raise ValueError(f"cannot admit thread in state {thread.state}")
+        self._threads.append(thread)
+        core = self._place(thread, preferred_core)
+        thread.vruntime = max(
+            thread.vruntime, self._queues[core.core_id].min_vruntime
+        )
+        self._enqueue(core, thread)
+
+    def _place(
+        self, thread: Thread, preferred_core: Optional[int] = None
+    ) -> LogicalCore:
+        """Pick the least-loaded core the thread may run on."""
+        if preferred_core is not None and thread.allowed(preferred_core):
+            return self.topology.core(preferred_core)
+        candidates = [
+            core for core in self.topology.cores if thread.allowed(core.core_id)
+        ]
+        if not candidates:
+            raise ValueError(f"{thread} has empty effective cpuset")
+
+        def load(core: LogicalCore) -> Tuple[int, int]:
+            running = 0 if core.running is None else 1
+            return (len(self._queues[core.core_id]) + running, core.core_id)
+
+        return min(candidates, key=load)
+
+    def _enqueue(self, core: LogicalCore, thread: Thread) -> None:
+        if thread.last_core is not None and thread.last_core != core.core_id:
+            thread.migrations += 1
+            self.total_migrations += 1
+        self._queues[core.core_id].push(thread)
+        if core.running is None:
+            # core is idle: dispatch immediately (as a fresh event so state
+            # settles before the switch fires hooks)
+            self.sim.schedule_after(0, lambda c=core: self._dispatch(c))
+
+    # -- core dispatch loop ---------------------------------------------------
+
+    def _dispatch(self, core: LogicalCore) -> None:
+        """If idle, pick the next thread on ``core`` and start a slice."""
+        if core.running is not None:
+            return
+        thread = self._queues[core.core_id].pop()
+        if thread is None:
+            return
+        self._context_switch(core, prev=None, nxt=thread)
+        self._start_slice(core, thread)
+
+    def _switch_out(self, core: LogicalCore, prev: Thread) -> None:
+        """``prev`` left the core (blocked or exited): switch to the next
+        runnable thread, or to idle (the swapper) if none — either way
+        ``sched_switch`` fires, as on a real kernel."""
+        if core.running is not None:  # pragma: no cover - defensive
+            return
+        nxt = self._queues[core.core_id].pop()
+        self._context_switch(core, prev=prev, nxt=nxt)
+        if nxt is not None:
+            self._start_slice(core, nxt)
+
+    def _context_switch(
+        self, core: LogicalCore, prev: Optional[Thread], nxt: Optional[Thread]
+    ) -> None:
+        """Account one switch and fire the tracepoint hooks."""
+        core.context_switches += 1
+        self.total_context_switches += 1
+        record = SchedSwitchRecord(
+            timestamp=self.sim.now, cpu_id=core.core_id, prev=prev, next=nxt
+        )
+        hook_cost = self.tracepoints.fire(SCHED_SWITCH, record)
+        cost = self.config.context_switch_cost_ns + hook_cost
+        core.kernel_ns += cost
+        if self.switch_log is not None:
+            self.switch_log.append(
+                (
+                    self.sim.now,
+                    core.core_id,
+                    nxt.pid if nxt is not None else 0,
+                    nxt.tid if nxt is not None else 0,
+                )
+            )
+        if nxt is not None:
+            nxt.context_switches_in += 1
+            nxt.kernel_ns += cost
+            if hook_cost:
+                nxt.tracing_overhead_ns += hook_cost
+            # the incoming thread pays the switch by starting late
+            nxt._switch_penalty_ns = cost  # type: ignore[attr-defined]
+
+    def _start_slice(self, core: LogicalCore, thread: Thread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.current_core = core.core_id
+        thread.last_core = core.core_id
+        core.running = thread
+
+        tax = 0.0
+        record_path = False
+        for hooks in self._hooks:
+            tax += hooks.slice_tax(thread, core)
+            record_path = record_path or hooks.wants_path(thread, core)
+        tax = min(tax, 0.95)
+
+        speed = self.topology.speed_factor(core, thread.process.llc_pressure)
+        work_rate = speed * (1.0 - tax)
+        budget = self.config.timeslice_ns
+        start = self.sim.now
+        result = thread.engine.advance(budget, work_rate, record_path)
+        if result.ran_ns <= 0 and result.outcome not in (SLICE_DONE, SLICE_SYSCALL):
+            raise RuntimeError(
+                f"engine for {thread} made no progress (outcome={result.outcome})"
+            )
+        penalty = getattr(thread, "_switch_penalty_ns", 0)
+        if penalty:
+            thread._switch_penalty_ns = 0  # type: ignore[attr-defined]
+        end = start + penalty + result.ran_ns
+        self.sim.schedule(
+            end, lambda c=core, t=thread, s=start, r=result: self._finish_slice(c, t, s, r)
+        )
+
+    def _finish_slice(
+        self, core: LogicalCore, thread: Thread, start_ns: int, result: SliceResult
+    ) -> None:
+        # accounting
+        thread.cpu_ns += result.ran_ns
+        thread.work_done += result.work_done
+        thread.branches_retired += result.branches
+        core.busy_ns += result.ran_ns
+        weight_scale = 1024.0 / thread.weight
+        thread.vruntime += result.ran_ns * weight_scale
+
+        for hooks in self._hooks:
+            hooks.on_slice(core, thread, start_ns, result)
+
+        if result.outcome == SLICE_DONE:
+            thread.state = ThreadState.DONE
+            thread.done_at = self.sim.now
+            thread.current_core = None
+            core.running = None
+            self._switch_out(core, prev=thread)
+            return
+
+        if result.outcome == SLICE_SYSCALL:
+            self._handle_syscall(core, thread, result)
+            return
+
+        # timeslice expiry or voluntary yield: requeue and pick next
+        thread.state = ThreadState.READY
+        thread.current_core = None
+        core.running = None
+        queue = self._queues[core.core_id]
+        queue.push(thread)
+        nxt = queue.pop()
+        if nxt is None:  # pragma: no cover - we just pushed
+            return
+        if nxt is not thread:
+            self._context_switch(core, prev=thread, nxt=nxt)
+        self._start_slice(core, nxt)
+
+    # -- syscalls ---------------------------------------------------------------
+
+    def _handle_syscall(
+        self, core: LogicalCore, thread: Thread, result: SliceResult
+    ) -> None:
+        assert result.syscall is not None
+        spec = self.syscalls.get(result.syscall)
+        thread.syscall_count += 1
+        record = SyscallRecord(
+            timestamp=self.sim.now,
+            cpu_id=core.core_id,
+            thread=thread,
+            syscall=result.syscall,
+        )
+        probe_cost = self.tracepoints.fire(SYS_ENTER, record)
+        kernel_cost = spec.kernel_ns + probe_cost
+        core.kernel_ns += kernel_cost
+        thread.kernel_ns += kernel_cost
+        if probe_cost:
+            thread.tracing_overhead_ns += probe_cost
+
+        if spec.blocking:
+            block_ns = self._sample_block(spec, result.block_ns)
+            wake_at = self.sim.now + kernel_cost + block_ns
+            thread.state = ThreadState.BLOCKED
+            thread.current_core = None
+            core.running = None
+            self.sim.schedule(wake_at, lambda t=thread: self._wake(t))
+            # core stays busy for the kernel part of the syscall
+            core.busy_ns += kernel_cost
+            self.sim.schedule_after(
+                kernel_cost, lambda c=core, t=thread: self._switch_out(c, prev=t)
+            )
+        else:
+            # non-blocking: charge kernel time, then continue on-core
+            core.busy_ns += kernel_cost
+            thread.state = ThreadState.READY
+            thread.current_core = None
+            core.running = None
+            self.sim.schedule_after(
+                kernel_cost, lambda c=core, t=thread: self._resume_after_syscall(c, t)
+            )
+
+    def _resume_after_syscall(self, core: LogicalCore, thread: Thread) -> None:
+        if core.running is not None:  # pragma: no cover - defensive
+            self._queues[core.core_id].push(thread)
+            return
+        queue = self._queues[core.core_id]
+        queue.push(thread)
+        nxt = queue.pop()
+        if nxt is not thread:
+            self._context_switch(core, prev=thread, nxt=nxt)
+        self._start_slice(core, nxt)
+
+    def _sample_block(self, spec, engine_block_ns: int) -> int:
+        base = engine_block_ns if engine_block_ns > 0 else spec.block_ns
+        if spec.block_jitter <= 0.0:
+            return base
+        noise = math.exp(self._rng.normal(0.0, spec.block_jitter))
+        return max(1, int(base * noise))
+
+    def _wake(self, thread: Thread) -> None:
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        thread.state = ThreadState.READY
+        thread.wakeups += 1
+        core = self._place(thread, preferred_core=thread.last_core)
+        bonus = self.config.wakeup_bonus * self.config.timeslice_ns
+        thread.vruntime = max(
+            thread.vruntime, self._queues[core.core_id].min_vruntime - bonus
+        )
+        self._enqueue(core, thread)
+
+    # -- queries --------------------------------------------------------------
+
+    def runnable_count(self) -> int:
+        """Threads currently READY or RUNNING (for liveness checks)."""
+        return sum(
+            1
+            for t in self._threads
+            if t.state in (ThreadState.READY, ThreadState.RUNNING)
+        )
+
+    def all_done(self) -> bool:
+        """True when every admitted thread has finished."""
+        return all(t.state is ThreadState.DONE for t in self._threads)

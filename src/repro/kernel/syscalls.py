@@ -1,0 +1,85 @@
+"""Syscall catalogue and timing model.
+
+Program executions emit syscalls by name; this table maps each name to a
+kernel-time cost and an optional blocking time (I/O waits).  The eBPF
+baseline's ``sys_enter`` probe overhead and EXIST's case-study diagnosis
+of a blocking ``file_write`` both hang off these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.util.units import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """Cost model of one syscall.
+
+    ``kernel_ns`` is on-CPU kernel time; ``block_ns`` is off-CPU wait time
+    (0 for non-blocking calls).  ``block_jitter`` scales multiplicative
+    noise applied by the execution engine when sampling block durations.
+    """
+
+    name: str
+    kernel_ns: int
+    block_ns: int = 0
+    block_jitter: float = 0.0
+
+    @property
+    def blocking(self) -> bool:
+        return self.block_ns > 0
+
+
+class SyscallTable:
+    """Registry of syscall specs with sensible datacenter defaults."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, SyscallSpec] = {}
+        for spec in _DEFAULT_SPECS:
+            self._specs[spec.name] = spec
+
+    def register(self, spec: SyscallSpec) -> None:
+        """Add or replace a syscall spec."""
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> SyscallSpec:
+        """Look up a spec; unknown names get a generic cheap syscall."""
+        spec = self._specs.get(name)
+        if spec is None:
+            spec = SyscallSpec(name=name, kernel_ns=800)
+            self._specs[name] = spec
+        return spec
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered syscall names."""
+        return tuple(self._specs)
+
+
+_DEFAULT_SPECS = (
+    # cheap non-blocking calls
+    SyscallSpec("getpid", kernel_ns=300),
+    SyscallSpec("gettimeofday", kernel_ns=250),
+    SyscallSpec("brk", kernel_ns=900),
+    SyscallSpec("mmap", kernel_ns=2_500),
+    SyscallSpec("madvise", kernel_ns=1_200),
+    SyscallSpec("futex_wake", kernel_ns=1_000),
+    # network path (short block while the NIC round-trips)
+    SyscallSpec("epoll_wait", kernel_ns=1_200, block_ns=60 * USEC, block_jitter=0.5),
+    SyscallSpec("recvfrom", kernel_ns=1_500, block_ns=25 * USEC, block_jitter=0.4),
+    # receive with a saturating closed-loop client: the next request is
+    # already queued, so the block is just the socket turnaround
+    SyscallSpec("recv_ready", kernel_ns=1_500, block_ns=3 * USEC, block_jitter=0.3),
+    SyscallSpec("sendto", kernel_ns=1_800),
+    SyscallSpec("accept", kernel_ns=2_000, block_ns=80 * USEC, block_jitter=0.6),
+    # storage path
+    SyscallSpec("read", kernel_ns=2_000, block_ns=120 * USEC, block_jitter=0.5),
+    SyscallSpec("write", kernel_ns=2_200),
+    SyscallSpec("fsync", kernel_ns=4_000, block_ns=2 * MSEC, block_jitter=0.8),
+    # the case-study culprit: a synchronous log write stuck behind disk I/O
+    SyscallSpec("file_write", kernel_ns=3_000, block_ns=400 * USEC, block_jitter=0.7),
+    SyscallSpec("futex_wait", kernel_ns=1_200, block_ns=150 * USEC, block_jitter=0.9),
+    SyscallSpec("nanosleep", kernel_ns=800, block_ns=1 * MSEC, block_jitter=0.2),
+)

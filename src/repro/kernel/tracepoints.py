@@ -1,0 +1,105 @@
+"""Kernel tracepoints and hook registry.
+
+EXIST's operation-aware tracing controller works by injecting a hook into
+the ``sched_switch`` tracepoint (paper §3.2); the eBPF baseline attaches to
+``sys_enter``.  This module provides the registry those hooks attach to.
+A hook receives the event record and returns the number of nanoseconds of
+kernel time its execution cost — the scheduler charges that cost to the
+core (and to the incoming thread), which is exactly how tracing control
+operations slow traced applications down on real machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Thread
+
+
+#: well-known tracepoint names
+SCHED_SWITCH = "sched_switch"
+SYS_ENTER = "sys_enter"
+SYS_EXIT = "sys_exit"
+
+
+@dataclass
+class SchedSwitchRecord:
+    """Payload delivered to ``sched_switch`` hooks.
+
+    Matches the five-tuple EXIST's buffer manager records for
+    multi-thread attribution: [Timestamp, CPUID, ProcessID, ThreadID,
+    Operation] (paper §3.3), plus the outgoing thread for convenience.
+    """
+
+    timestamp: int
+    cpu_id: int
+    prev: Optional["Thread"]
+    next: Optional["Thread"]
+
+    @property
+    def five_tuple(self) -> tuple:
+        """The 24-byte record EXIST persists per context switch."""
+        nxt = self.next
+        return (
+            self.timestamp,
+            self.cpu_id,
+            nxt.pid if nxt is not None else 0,
+            nxt.tid if nxt is not None else 0,
+            "sched_in" if nxt is not None else "idle",
+        )
+
+
+@dataclass
+class SyscallRecord:
+    """Payload delivered to ``sys_enter`` / ``sys_exit`` hooks."""
+
+    timestamp: int
+    cpu_id: int
+    thread: "Thread"
+    syscall: str
+
+
+Hook = Callable[[object], int]
+
+
+class TracepointRegistry:
+    """Named tracepoints with ordered hook lists.
+
+    ``fire`` returns the summed kernel-time cost of all hooks so callers
+    can charge it; hooks that cost nothing return 0.
+    """
+
+    def __init__(self) -> None:
+        self._hooks: Dict[str, List[Hook]] = {}
+        self.fire_counts: Dict[str, int] = {}
+
+    def attach(self, tracepoint: str, hook: Hook) -> None:
+        """Attach ``hook`` to ``tracepoint`` (appended after existing hooks)."""
+        self._hooks.setdefault(tracepoint, []).append(hook)
+
+    def detach(self, tracepoint: str, hook: Hook) -> None:
+        """Remove a previously attached hook; raises if absent."""
+        self._hooks[tracepoint].remove(hook)
+
+    def hooks(self, tracepoint: str) -> List[Hook]:
+        """Copy of the hooks attached to ``tracepoint``."""
+        return list(self._hooks.get(tracepoint, ()))
+
+    def has_hooks(self, tracepoint: str) -> bool:
+        """Whether any hook is attached to ``tracepoint``."""
+        return bool(self._hooks.get(tracepoint))
+
+    def fire(self, tracepoint: str, record: object) -> int:
+        """Invoke all hooks of ``tracepoint``; return total cost in ns."""
+        hooks = self._hooks.get(tracepoint)
+        self.fire_counts[tracepoint] = self.fire_counts.get(tracepoint, 0) + 1
+        if not hooks:
+            return 0
+        total = 0
+        for hook in hooks:
+            cost = hook(record)
+            if cost:
+                total += int(cost)
+        return total

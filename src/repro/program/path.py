@@ -1,0 +1,195 @@
+"""Deterministic control-flow path model.
+
+Accuracy experiments compare the path EXIST reconstructs against the path
+NHT reconstructs *for the same execution*.  To make that comparison exact
+across separate simulation runs, the symbolic control-flow path must be a
+pure function of (workload, thread, cumulative progress) — never of
+wall-clock timing or of whether a tracer happened to be listening.
+
+:class:`PathModel` therefore precomputes one long Markov walk over the
+binary's CFG at construction (seeded), and executions index into it by
+cumulative *symbolic event count*: event ``i`` is always
+``walk[i % length]``.  A tracing scheme that misses a time range simply
+misses a contiguous index range; what it did capture matches the ground
+truth bit-for-bit.
+
+Each symbolic event stands for ``stride`` retired branches (the real
+branch rate is far too high to materialize per-branch events in Python);
+trace-volume accounting multiplies back up, see
+:mod:`repro.hwtrace.tracer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.program.binary import Binary
+from repro.util.rng import derive_seed
+
+#: default number of precomputed events before the walk repeats
+DEFAULT_WALK_LENGTH = 1 << 16
+#: default real branches represented by one symbolic event
+DEFAULT_STRIDE = 1 << 15
+
+
+class PathModel:
+    """Precomputed CFG walk with fast per-range aggregation."""
+
+    def __init__(
+        self,
+        binary: Binary,
+        seed: int = 0,
+        length: int = DEFAULT_WALK_LENGTH,
+        stride: int = DEFAULT_STRIDE,
+    ):
+        if length < 16:
+            raise ValueError("walk length too small to be useful")
+        self.binary = binary
+        self.length = length
+        self.stride = stride
+        rng = np.random.default_rng(derive_seed(seed, "path", binary.name))
+
+        blocks = binary.blocks
+        n_blocks = len(blocks)
+        # dense successor tables for the intra-function walk
+        succ_targets = []
+        succ_cumprobs = []
+        for block in blocks:
+            targets = np.array([t for t, _ in block.successors], dtype=np.int64)
+            probs = np.array([p for _, p in block.successors], dtype=float)
+            succ_targets.append(targets)
+            succ_cumprobs.append(np.cumsum(probs))
+        term_code = {"cond": 0, "call": 1, "indirect": 2, "ret": 3}
+        terminators = np.array(
+            [term_code[b.terminator] for b in blocks], dtype=np.int8
+        )
+        return_sites = [b.return_site for b in blocks]
+        block_function = np.array([b.function_id for b in blocks], dtype=np.int64)
+
+        # regime-switching walk: visit functions proportionally to their
+        # execution weights, dwelling inside each for a sampled number of
+        # block steps along its real CFG.  This pins the long-run
+        # category/function distribution to the generator's weights (the
+        # Figure 21/22 case studies measure these back from traces) while
+        # keeping genuine intra-function control-flow structure.
+        function_weights = np.array(
+            [max(f.weight, 1e-12) for f in binary.functions], dtype=float
+        )
+        function_weights /= function_weights.sum()
+        entries = np.array(
+            [f.entry_block for f in binary.functions], dtype=np.int64
+        )
+        mean_dwell = 24.0
+
+        walk = np.empty(length, dtype=np.int32)
+        position = 0
+        while position < length:
+            function_id = int(rng.choice(len(entries), p=function_weights))
+            dwell = 1 + int(rng.geometric(1.0 / mean_dwell))
+            current = int(entries[function_id])
+            for _ in range(min(dwell, length - position)):
+                walk[position] = current
+                position += 1
+                code = terminators[current]
+                if code == 3:  # ret: restart at the function entry
+                    current = int(entries[function_id])
+                    continue
+                if code == 1:  # call: stay in-function via the return site
+                    site = return_sites[current]
+                    current = (
+                        int(site) if site is not None else int(entries[function_id])
+                    )
+                    continue
+                cum = succ_cumprobs[current]
+                idx = int(
+                    np.searchsorted(cum, rng.random() * cum[-1], side="right")
+                )
+                if idx >= len(cum):  # numerical edge
+                    idx = len(cum) - 1
+                nxt = int(succ_targets[current][idx])
+                # cond/indirect successors are intra-function by
+                # construction, but guard against drifting out
+                if int(block_function[nxt]) != function_id:
+                    nxt = int(entries[function_id])
+                current = nxt
+
+        self.walk = walk
+        block_instr = np.array([b.n_instructions for b in blocks], dtype=np.int64)
+        block_func = np.array([b.function_id for b in blocks], dtype=np.int32)
+        self.event_instructions = block_instr[walk]
+        self.event_functions = block_func[walk]
+        #: terminator code per event: 0=cond, 1=call, 2=indirect, 3=ret
+        self.event_terminators = terminators[walk]
+        self._block_visits_prefix = self._prefix_bincount(walk, n_blocks)
+        #: fraction of events ending in an indirect branch (TIP-class);
+        #: rets count as TNT-class under full RET compression
+        self.indirect_fraction = float(np.mean(self.event_terminators == 2))
+
+    @staticmethod
+    def _prefix_bincount(walk: np.ndarray, n_blocks: int) -> np.ndarray:
+        """Nothing fancy: cumulative visit counts at power-of-two checkpoints
+        would be overkill — range queries below recount directly (ranges are
+        short relative to the walk)."""
+        return np.bincount(walk, minlength=n_blocks)
+
+    # -- range queries ------------------------------------------------------
+
+    def events(self, start: int, end: int) -> np.ndarray:
+        """Block ids of events in [start, end) (indices may exceed length)."""
+        if end < start:
+            raise ValueError("end before start")
+        if end - start >= self.length:
+            # whole-cycle ranges: return one full cycle (analyses are
+            # frequency-based, extra repetitions add no information)
+            return self.walk
+        lo = start % self.length
+        hi = end % self.length
+        if lo <= hi and end - start == hi - lo:
+            return self.walk[lo:hi]
+        return np.concatenate([self.walk[lo:], self.walk[:hi]])
+
+    def visit_counts(self, start: int, end: int) -> np.ndarray:
+        """Per-block visit counts over event range [start, end)."""
+        n_blocks = self.binary.n_blocks
+        if end <= start:
+            return np.zeros(n_blocks, dtype=np.int64)
+        full_cycles, remainder_events = divmod(end - start, self.length)
+        counts = full_cycles * self._block_visits_prefix.astype(np.int64)
+        if remainder_events:
+            counts = counts + np.bincount(
+                self.events(start, start + remainder_events), minlength=n_blocks
+            )
+        return counts
+
+    def function_histogram(self, start: int, end: int) -> Dict[int, float]:
+        """Instruction-weighted function occurrence histogram for a range."""
+        counts = self.visit_counts(start, end)
+        instr = np.array(
+            [b.n_instructions for b in self.binary.blocks], dtype=np.int64
+        )
+        weighted = counts * instr
+        hist: Dict[int, float] = {}
+        for block_id in np.nonzero(weighted)[0]:
+            fid = int(self.binary.blocks[int(block_id)].function_id)
+            hist[fid] = hist.get(fid, 0.0) + float(weighted[int(block_id)])
+        return hist
+
+    def sample_block(self, event_index: int) -> int:
+        """Block executing at a given absolute event index (for samplers)."""
+        return int(self.walk[event_index % self.length])
+
+    # -- volume model ---------------------------------------------------------
+
+    def packet_bytes_per_event(
+        self, tnt_bytes_per_branch: float, tip_bytes: float
+    ) -> float:
+        """Average *real* trace bytes one symbolic event represents.
+
+        The stride's worth of real branches behind each event splits into
+        conditional branches (TNT bits, ~6 per byte) and indirect branches
+        (standalone TIP packets) according to the walk's measured mix.
+        """
+        ind = self.indirect_fraction
+        return self.stride * ((1.0 - ind) * tnt_bytes_per_branch + ind * tip_bytes)

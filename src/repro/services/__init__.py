@@ -1,0 +1,32 @@
+"""Microservice layer: service graphs, RPC spans, and latency simulation.
+
+The paper's end-to-end experiments (Figures 3b and 16) measure how a
+single traced service's overhead amplifies through a request chain under
+load.  This package provides the substrate: a service dependency graph
+with per-service worker pools (:mod:`repro.services.graph`), open- and
+closed-loop load generation (:mod:`repro.services.loadgen`), a
+discrete-event queueing simulator producing per-request spans and
+latency percentiles (:mod:`repro.services.latency`), and Zipkin-style
+span records for the inter-service side of Figure 1
+(:mod:`repro.services.rpc`).
+"""
+
+from repro.services.graph import ServiceGraph, ServiceSpec, CallEdge
+from repro.services.loadgen import PoissonArrivals, ClosedLoopClients
+from repro.services.latency import QueueingSimulator, LatencyReport
+from repro.services.rpc import Span, RequestTrace
+from repro.services.collector import ZipkinCollector, ServiceStats
+
+__all__ = [
+    "ServiceGraph",
+    "ServiceSpec",
+    "CallEdge",
+    "PoissonArrivals",
+    "ClosedLoopClients",
+    "QueueingSimulator",
+    "LatencyReport",
+    "Span",
+    "RequestTrace",
+    "ZipkinCollector",
+    "ServiceStats",
+]

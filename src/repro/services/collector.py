@@ -1,0 +1,109 @@
+"""Zipkin-style inter-service trace collection and culprit location.
+
+The paper's Figure 1/2 story has two levels: RPC-level tracing (Zipkin /
+Dapper) finds the *culprit service*; intra-service tracing (EXIST) then
+explains it.  This module provides the first level over the queueing
+simulator's spans: a collector aggregating request traces into
+per-service latency statistics and a culprit ranking, so the examples and
+tests can run the full two-level diagnosis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.services.rpc import RequestTrace, Span
+from repro.util.stats import percentile
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated span statistics for one service."""
+
+    service: str
+    span_count: int
+    total_ns: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_ns / 1e6
+
+
+class ZipkinCollector:
+    """Collects request traces and answers RPC-level questions."""
+
+    def __init__(self) -> None:
+        self.traces: List[RequestTrace] = []
+
+    def collect(self, traces: Sequence[RequestTrace]) -> None:
+        """Ingest a batch of request traces."""
+        self.traces.extend(traces)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def service_stats(self) -> Dict[str, ServiceStats]:
+        """Per-service span statistics across all collected traces."""
+        durations: Dict[str, List[int]] = defaultdict(list)
+        for trace in self.traces:
+            for span in trace.spans:
+                durations[span.service].append(span.self_time_ns)
+        stats = {}
+        for service, values in durations.items():
+            stats[service] = ServiceStats(
+                service=service,
+                span_count=len(values),
+                total_ns=sum(values),
+                mean_ns=float(np.mean(values)),
+                p50_ns=percentile(values, 50),
+                p99_ns=percentile(values, 99),
+            )
+        return stats
+
+    def culprit_ranking(self) -> List[str]:
+        """Services ranked by total span time (the RPC-level suspect list).
+
+        The paper's Figure 1: distributed tracing locates the culprit
+        *service*; what happens inside it needs intra-service tracing.
+        """
+        stats = self.service_stats()
+        return sorted(stats, key=lambda s: -stats[s].total_ns)
+
+    def slow_requests(self, threshold_ns: int) -> List[RequestTrace]:
+        """Requests whose end-to-end response time exceeds the threshold."""
+        return [
+            t for t in self.traces if t.response_time_ns > threshold_ns
+        ]
+
+    def culprit_of_slow_requests(self, threshold_ns: int) -> Optional[str]:
+        """Most common per-request critical service among slow requests."""
+        slow = self.slow_requests(threshold_ns)
+        if not slow:
+            return None
+        votes: Dict[str, int] = defaultdict(int)
+        for trace in slow:
+            votes[trace.critical_service()] += 1
+        return max(votes, key=lambda s: votes[s])
+
+    def compare(self, other: "ZipkinCollector") -> Dict[str, float]:
+        """Per-service mean-latency ratio vs another collection.
+
+        Ratio > 1 means this collection's service got slower — the view
+        an on-call engineer uses to spot which tier regressed.
+        """
+        mine = self.service_stats()
+        theirs = other.service_stats()
+        return {
+            service: mine[service].mean_ns / theirs[service].mean_ns
+            for service in mine
+            if service in theirs and theirs[service].mean_ns > 0
+        }

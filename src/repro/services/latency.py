@@ -1,0 +1,300 @@
+"""Discrete-event queueing simulator for end-to-end latency.
+
+Each service is a ``workers``-server FCFS queue; a request visits the
+root, and after a service's own processing it issues its outgoing calls
+*sequentially* (synchronous RPC), returning when the last child returns.
+Installing a tracing scheme multiplies one service's service time by its
+measured node-level inflation — the simulator then shows how that
+single-digit (or per-mille) overhead compounds through queueing into the
+tail (Figures 3b and 16).
+
+This simulator is intentionally independent of the kernel simulator:
+service-time inflations are *measured* there (a real EXIST/baseline run
+on a node), then amplified here, composing the two levels the same way
+the paper's testbed composes node overhead and cluster queueing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.services.graph import CallEdge, ServiceGraph, ServiceSpec
+from repro.services.loadgen import PoissonArrivals
+from repro.services.rpc import RequestTrace, Span
+from repro.util.rng import derive_seed
+from repro.util.stats import percentiles
+from repro.util.units import SEC
+
+
+@dataclass
+class LatencyReport:
+    """Results of one load run."""
+
+    response_times_ns: np.ndarray
+    completed: int
+    duration_ns: int
+    service_busy_ns: Dict[str, int]
+    service_workers: Dict[str, int]
+    sample_traces: List[RequestTrace] = field(default_factory=list)
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile of response times (ns)."""
+        return float(np.percentile(self.response_times_ns, pct))
+
+    def tail_percentiles(
+        self, pcts: Tuple[float, ...] = (50, 75, 90, 99, 99.9)
+    ) -> Dict[float, float]:
+        """Several response-time percentiles at once (ns)."""
+        return percentiles(self.response_times_ns.tolist(), pcts)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.completed / (self.duration_ns / SEC)
+
+    def utilization(self, service: str) -> float:
+        """Measured worker utilization of one service (0..1)."""
+        busy = self.service_busy_ns.get(service, 0)
+        workers = self.service_workers.get(service, 1)
+        if self.duration_ns <= 0:
+            return 0.0
+        return busy / (workers * self.duration_ns)
+
+
+class _ServiceState:
+    __slots__ = ("spec", "busy", "queue", "busy_ns")
+
+    def __init__(self, spec: ServiceSpec):
+        self.spec = spec
+        self.busy = 0
+        self.queue: List[Tuple[int, int, object]] = []  # (arrival, seq, call)
+        self.busy_ns = 0
+
+
+class QueueingSimulator:
+    """Event-driven simulation of a :class:`ServiceGraph` under load."""
+
+    def __init__(self, graph: ServiceGraph, seed: int = 0):
+        self.graph = graph
+        self.seed = seed
+
+    # -- public API ---------------------------------------------------------
+
+    def run_open_loop(
+        self,
+        arrivals: PoissonArrivals,
+        n_requests: int,
+        warmup_fraction: float = 0.1,
+        keep_traces: int = 0,
+    ) -> LatencyReport:
+        """Drive ``n_requests`` Poisson arrivals through the graph."""
+        times = arrivals.arrival_times(n_requests)
+        return self._run(times, warmup_fraction, keep_traces)
+
+    def bottleneck_capacity_rps(self) -> float:
+        """Highest sustainable arrival rate (calls-per-request aware)."""
+        multiplicity = self._call_multiplicity()
+        capacity = math.inf
+        for name, spec in self.graph.services.items():
+            calls = multiplicity.get(name, 0.0)
+            if calls <= 0:
+                continue
+            per_call = spec.inflated_mean()
+            service_capacity = spec.workers * SEC / per_call / calls
+            capacity = min(capacity, service_capacity)
+        return capacity
+
+    def rate_for_utilization(self, utilization: float) -> float:
+        """Arrival rate putting the bottleneck at ``utilization``."""
+        if not 0.0 < utilization < 1.05:
+            raise ValueError("utilization must be in (0, 1.05)")
+        return utilization * self.bottleneck_capacity_rps()
+
+    # -- internals -------------------------------------------------------------
+
+    def _call_multiplicity(self) -> Dict[str, float]:
+        """Expected calls per request reaching each service."""
+        counts: Dict[str, float] = {self.graph.root: 1.0}
+        for name in self.graph.call_order():
+            base = counts.get(name, 0.0)
+            for edge in self.graph.callees(name):
+                counts[edge.callee] = counts.get(edge.callee, 0.0) + (
+                    base * edge.calls_per_request
+                )
+        return counts
+
+    def _run(
+        self,
+        arrival_times: np.ndarray,
+        warmup_fraction: float,
+        keep_traces: int,
+    ) -> LatencyReport:
+        rng = np.random.default_rng(derive_seed(self.seed, "queueing"))
+        # common random numbers: each (request, service, call) indexes a
+        # fixed table of standard-normal draws, so two runs differing only
+        # in tracing inflation see identical service-time randomness —
+        # scheme comparisons measure the inflation, not the noise
+        normal_table = rng.standard_normal(1 << 16)
+        table_mask = (1 << 16) - 1
+        states = {
+            name: _ServiceState(spec) for name, spec in self.graph.services.items()
+        }
+        heap: List[Tuple[int, int, Callable[[], None]]] = []
+        seq = itertools.count()
+        now = 0
+
+        def at(time: int, fn: Callable[[], None]) -> None:
+            heapq.heappush(heap, (time, next(seq), fn))
+
+        response_times: List[int] = []
+        completions = 0
+        traces: List[RequestTrace] = []
+        warmup_count = int(len(arrival_times) * warmup_fraction)
+
+        service_salts = {
+            name: zlib.crc32(name.encode()) for name in self.graph.services
+        }
+
+        def sample_service_time(
+            spec: ServiceSpec, service_name: str, rid: int, call_no: int
+        ) -> int:
+            mean = spec.inflated_mean()
+            sigma = spec.service_time_sigma
+            mu = math.log(mean) - 0.5 * sigma * sigma
+            # stable salt (never the built-in hash(): it is randomized per
+            # process and would break cross-run determinism)
+            index = (
+                rid * 2654435761 + service_salts[service_name] * 97
+                + call_no * 7919
+            ) & table_mask
+            return max(1, int(math.exp(mu + sigma * normal_table[index])))
+
+        def submit(
+            service_name: str,
+            arrive_ns: int,
+            done: Callable[[int], None],
+            trace: Optional[RequestTrace],
+            rid: int,
+            counter: Dict[str, int],
+        ) -> None:
+            state = states[service_name]
+            call_no = counter["n"]
+            counter["n"] += 1
+
+            def start(start_ns: int) -> None:
+                service_ns = sample_service_time(
+                    state.spec, service_name, rid, call_no
+                )
+                state.busy_ns += service_ns
+                end_own = start_ns + service_ns
+
+                def after_children(child_end: int) -> None:
+                    if trace is not None:
+                        trace.spans.append(
+                            Span(
+                                service=service_name,
+                                start_ns=start_ns,
+                                end_ns=child_end,
+                                self_ns=service_ns,
+                            )
+                        )
+                    done(child_end)
+
+                def run_children(t: int) -> None:
+                    edges = self.graph.callees(service_name)
+                    self._run_calls_sequentially(
+                        edges, t, after_children, submit, trace, rid, counter
+                    )
+
+                def release(t: int) -> None:
+                    state.busy -= 1
+                    if state.queue:
+                        _, _, queued_start = heapq.heappop(state.queue)
+                        state.busy += 1
+                        queued_start(t)  # type: ignore[operator]
+                    run_children(t)
+
+                at(end_own, lambda: release(end_own))
+
+            if state.busy < state.spec.workers:
+                state.busy += 1
+                at(arrive_ns, lambda: start(max(arrive_ns, now)))
+            else:
+                heapq.heappush(state.queue, (arrive_ns, next(seq), start))
+
+        def launch(request_id: int, arrive_ns: int) -> None:
+            keep = request_id >= warmup_count and len(traces) < keep_traces
+            trace = RequestTrace(request_id=request_id) if keep else None
+
+            def finished(end_ns: int) -> None:
+                nonlocal completions
+                if request_id >= warmup_count:
+                    response_times.append(end_ns - arrive_ns)
+                    completions += 1
+                    if trace is not None and len(traces) < keep_traces:
+                        traces.append(trace)
+
+            submit(
+                self.graph.root, arrive_ns, finished, trace,
+                request_id, {"n": 0},
+            )
+
+        for request_id, arrive in enumerate(arrival_times):
+            at(int(arrive), lambda r=request_id, a=int(arrive): launch(r, a))
+
+        while heap:
+            now, _, fn = heapq.heappop(heap)
+            fn()
+
+        if not response_times:
+            raise RuntimeError("no requests completed after warmup")
+        measured_window = int(arrival_times[-1] - arrival_times[warmup_count]) or 1
+        return LatencyReport(
+            response_times_ns=np.array(response_times, dtype=np.int64),
+            completed=completions,
+            duration_ns=measured_window,
+            service_busy_ns={n: s.busy_ns for n, s in states.items()},
+            service_workers={
+                n: s.spec.workers for n, s in states.items()
+            },
+            sample_traces=traces,
+        )
+
+    def _run_calls_sequentially(
+        self,
+        edges: List[CallEdge],
+        start_ns: int,
+        done: Callable[[int], None],
+        submit: Callable,
+        trace: Optional[RequestTrace],
+        rid: int,
+        counter: Dict[str, int],
+    ) -> None:
+        """Issue each edge's calls one after another (synchronous RPC)."""
+        plan: List[CallEdge] = []
+        for edge in edges:
+            plan.extend([edge] * edge.calls_per_request)
+
+        def step(index: int, t: int) -> None:
+            if index >= len(plan):
+                done(t)
+                return
+            edge = plan[index]
+            submit(
+                edge.callee,
+                t + edge.network_ns,
+                lambda end: step(index + 1, end + edge.network_ns),
+                trace,
+                rid,
+                counter,
+            )
+
+        step(0, start_ns)

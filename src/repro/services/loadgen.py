@@ -1,0 +1,52 @@
+"""Load generators for the queueing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+from repro.util.units import SEC
+
+
+@dataclass
+class PoissonArrivals:
+    """Open-loop Poisson arrival process at ``rate_rps`` requests/second.
+
+    The paper's load knob ("Load=1e2 ... 1e5" requests) is an open-loop
+    arrival rate: clients do not wait for responses, so queueing delay
+    compounds — the regime where tracing overhead amplifies into tail
+    latency (Figure 3b).
+    """
+
+    rate_rps: float
+    seed: int = 0
+
+    def arrival_times(self, n_requests: int) -> np.ndarray:
+        """Absolute arrival times (ns) of the first ``n_requests``."""
+        if self.rate_rps <= 0:
+            raise ValueError("arrival rate must be positive")
+        rng = np.random.default_rng(derive_seed(self.seed, "poisson", self.rate_rps))
+        gaps = rng.exponential(SEC / self.rate_rps, size=n_requests)
+        return np.cumsum(gaps).astype(np.int64)
+
+
+@dataclass
+class ClosedLoopClients:
+    """``concurrency`` clients that each issue the next request on reply.
+
+    Models memtier/ab-style benchmarking (10 concurrent clients in the
+    paper's online-benchmark setup).  Arrivals are generated lazily by the
+    simulator since they depend on completions; this class just carries
+    the parameters.
+    """
+
+    concurrency: int = 10
+    think_time_ns: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("need at least one client")

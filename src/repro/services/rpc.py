@@ -1,0 +1,66 @@
+"""RPC spans: the inter-service tracing half of Figure 1.
+
+Zipkin-style span records produced by the queueing simulator.  They give
+the RPC-level view (which service is slow) that intra-service tracing
+then digs into — the paper's motivating two-level observability story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_span_counter = itertools.count(1)
+
+
+@dataclass
+class Span:
+    """One service-side span of a request.
+
+    ``duration_ns`` is inclusive (own processing + downstream calls);
+    ``self_ns``, when the producer knows it, is the service's own
+    processing time — what culprit analyses should rank by.
+    """
+
+    service: str
+    start_ns: int
+    end_ns: int
+    parent: Optional[str] = None
+    self_ns: Optional[int] = None
+    span_id: str = field(default_factory=lambda: f"span-{next(_span_counter):08d}")
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def self_time_ns(self) -> int:
+        """Own processing time (falls back to the inclusive duration)."""
+        return self.self_ns if self.self_ns is not None else self.duration_ns
+
+
+@dataclass
+class RequestTrace:
+    """All spans of one end-to-end request (a Zipkin trace)."""
+
+    request_id: int
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def response_time_ns(self) -> int:
+        if not self.spans:
+            return 0
+        return max(s.end_ns for s in self.spans) - min(s.start_ns for s in self.spans)
+
+    def span_of(self, service: str) -> List[Span]:
+        """All spans of one service within this request."""
+        return [s for s in self.spans if s.service == service]
+
+    def critical_service(self) -> str:
+        """Service with the largest summed *self* time (the RPC-level
+        culprit; inclusive durations would always blame the root)."""
+        totals: Dict[str, int] = {}
+        for span in self.spans:
+            totals[span.service] = totals.get(span.service, 0) + span.self_time_ns
+        return max(totals, key=lambda s: totals[s])

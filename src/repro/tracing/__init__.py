@@ -1,0 +1,36 @@
+"""Tracing schemes: the paper's baselines plus the scheme contract.
+
+Table 2 of the paper compares EXIST against four state-of-the-practice
+schemes, all reimplemented here against the simulated substrate:
+
+* :class:`OracleScheme` — normal execution without tracing;
+* :class:`StaSamScheme` — statistical sampling (``perf record -a -F 3999``);
+* :class:`EbpfScheme` — eBPF syscall tracing (``bpftrace -e sys_enter``);
+* :class:`NhtScheme` — native hardware tracing (``perf record -e
+  intel_pt``), also the exhaustive-coverage accuracy reference;
+* :class:`ReptScheme` / :class:`GriffinScheme` — the reverse-debugging
+  and security-enhancement abstractions of the Figure 6 design space,
+  rebuilt on the same substrate for the trade-off comparison.
+
+EXIST itself implements the same :class:`TracingScheme` contract in
+:mod:`repro.core.exist`.
+"""
+
+from repro.tracing.base import TracingScheme, SchemeArtifacts
+from repro.tracing.oracle import OracleScheme
+from repro.tracing.stasam import StaSamScheme
+from repro.tracing.ebpf import EbpfScheme
+from repro.tracing.nht import NhtScheme
+from repro.tracing.rept import ReptScheme
+from repro.tracing.griffin import GriffinScheme
+
+__all__ = [
+    "TracingScheme",
+    "SchemeArtifacts",
+    "OracleScheme",
+    "StaSamScheme",
+    "EbpfScheme",
+    "NhtScheme",
+    "ReptScheme",
+    "GriffinScheme",
+]

@@ -1,0 +1,20 @@
+"""Oracle: normal execution without any tracing.
+
+The baseline every slowdown is normalized against (``runcpu intspeed``
+without profiling in the paper's Table 2).  Installing it changes
+nothing; it exists so experiment code can treat "no tracing" uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.tracing.base import SchemeArtifacts, TracingScheme
+
+
+class OracleScheme(TracingScheme):
+    """No-op scheme: zero tax, zero hooks, zero space."""
+
+    name = "Oracle"
+
+    def artifacts(self) -> SchemeArtifacts:
+        """Nothing was traced: an empty artifact set."""
+        return SchemeArtifacts(scheme=self.name, ledger=self.ledger)

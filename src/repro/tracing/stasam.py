@@ -1,0 +1,86 @@
+"""StaSam: statistical sampling (``perf record -a -F 3999``).
+
+System-wide PMI-driven sampling: every core takes ``frequency`` sampling
+interrupts per second of busy time, each costing
+:attr:`~repro.hwtrace.cost.CostModel.pmi_ns` of stolen CPU (register +
+call-stack capture).  The product is a *statistical* profile — a function
+histogram with no chronology — which is why the paper classifies it as
+efficient but unable to explain causality (Figure 1).
+
+Sampling is modeled as a continuous tax (interrupt rate x cost) rather
+than one simulator event per PMI; sample *contents* are drawn from the
+thread's deterministic path model at the event indices where PMIs land,
+so the histogram is faithful to what perf would report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.kernel.cpu import LogicalCore
+from repro.kernel.task import SliceResult, Thread
+from repro.tracing.base import SchemeArtifacts, TracingScheme
+from repro.util.units import SEC
+
+#: perf.data bytes per recorded sample (header + regs + callchain)
+_BYTES_PER_SAMPLE = 56.0
+
+
+class StaSamScheme(TracingScheme):
+    """perf-like statistical sampler."""
+
+    name = "StaSam"
+
+    def __init__(self, frequency_hz: int = 3999, **kwargs):
+        super().__init__(**kwargs)
+        self.frequency_hz = frequency_hz
+        self._tax = frequency_hz * self.cost_model.pmi_ns / SEC
+        self.samples_taken: float = 0.0
+        self._histogram: Dict[int, float] = {}
+
+    # system-wide: every running thread pays the PMI tax
+    def slice_tax(self, thread: Thread, core: LogicalCore) -> float:
+        """System-wide PMI tax: every running thread pays."""
+        return self._tax
+
+    def on_slice(
+        self, core: LogicalCore, thread: Thread, start_ns: int, result: SliceResult
+    ) -> None:
+        """Fold the slice's expected PMI samples into the histogram."""
+        if not self.is_target(thread) or result.event_range is None:
+            return
+        expected_samples = result.ran_ns * self.frequency_hz / SEC
+        self.samples_taken += expected_samples
+        self.ledger.charge(
+            "pmi",
+            int(expected_samples * self.cost_model.pmi_ns),
+            count=max(1, int(round(expected_samples))),
+        )
+        e0, e1 = result.event_range
+        if e1 <= e0:
+            return
+        path = getattr(thread.engine, "path_model", None)
+        if path is None:
+            return
+        # PMIs land uniformly in slice time = uniformly in event index;
+        # spread the expected sample mass over evenly spaced events
+        n_points = max(1, int(round(expected_samples)))
+        weight = expected_samples / n_points
+        span = e1 - e0
+        binary = path.binary
+        for k in range(n_points):
+            event_index = e0 + (k * span) // n_points
+            block_id = path.sample_block(event_index)
+            function_id = binary.blocks[block_id].function_id
+            self._histogram[function_id] = (
+                self._histogram.get(function_id, 0.0) + weight
+            )
+
+    def artifacts(self) -> SchemeArtifacts:
+        """The statistical profile: a histogram, no chronology."""
+        return SchemeArtifacts(
+            scheme=self.name,
+            sample_histogram=dict(self._histogram),
+            space_bytes=self.samples_taken * _BYTES_PER_SAMPLE,
+            ledger=self.ledger,
+        )

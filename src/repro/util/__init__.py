@@ -1,0 +1,52 @@
+"""Shared utilities: time units, seeded randomness, and statistics helpers.
+
+Everything in the simulator measures virtual time in integer nanoseconds
+(see :mod:`repro.util.units`) and derives randomness from explicitly
+seeded generators (see :mod:`repro.util.rng`) so that every experiment in
+``benchmarks/`` is exactly reproducible.
+"""
+
+from repro.util.units import (
+    NSEC,
+    USEC,
+    MSEC,
+    SEC,
+    KIB,
+    MIB,
+    GIB,
+    fmt_bytes,
+    fmt_time,
+    ns_to_s,
+    s_to_ns,
+)
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.stats import (
+    OnlineStats,
+    percentile,
+    percentiles,
+    cdf_points,
+    geometric_mean,
+    normalized_l1_distance,
+)
+
+__all__ = [
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "KIB",
+    "MIB",
+    "GIB",
+    "fmt_bytes",
+    "fmt_time",
+    "ns_to_s",
+    "s_to_ns",
+    "RngFactory",
+    "derive_seed",
+    "OnlineStats",
+    "percentile",
+    "percentiles",
+    "cdf_points",
+    "geometric_mean",
+    "normalized_l1_distance",
+]

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hwtrace.cost import CostLedger, CostModel
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.binary import FunctionCategory
+from repro.program.generator import BinaryShape, generate_binary
+from repro.program.path import PathModel
+
+
+@pytest.fixture
+def small_system() -> KernelSystem:
+    """A fresh 8-logical-core node."""
+    return KernelSystem(SystemConfig.small_node(8, seed=11))
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger(CostModel())
+
+
+@pytest.fixture(scope="session")
+def tiny_binary():
+    """A small deterministic binary shared across tests."""
+    shape = BinaryShape(
+        n_functions=8,
+        blocks_per_function_mean=5.0,
+        category_weights={
+            FunctionCategory.APP: 0.6,
+            FunctionCategory.MEM_COPY: 0.2,
+            FunctionCategory.SYNC_MUTEX: 0.1,
+            FunctionCategory.KERNEL_NET: 0.1,
+        },
+    )
+    return generate_binary("tinybin", shape, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_path(tiny_binary) -> PathModel:
+    return PathModel(tiny_binary, seed=99, length=4096, stride=1024)

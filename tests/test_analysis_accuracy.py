@@ -1,0 +1,111 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    direct_path_accuracy,
+    function_histogram_from_segments,
+    pairwise_trace_similarity,
+    weight_matching_accuracy,
+)
+from repro.hwtrace.tracer import TraceSegment
+
+
+def seg(path, e0, e1, captured=None, tid=2):
+    return TraceSegment(
+        core_id=0, pid=1, tid=tid, cr3=0x1000, t_start=0, t_end=1,
+        event_start=e0, event_end=e1,
+        captured_event_end=captured if captured is not None else e1,
+        bytes_offered=1.0, bytes_accepted=1.0, path_model=path,
+    )
+
+
+class TestDirectPathAccuracy:
+    def test_perfect_match(self):
+        ref = {"t0": [(0, 100)]}
+        assert direct_path_accuracy(ref, ref) == 1.0
+
+    def test_half_coverage(self):
+        ref = {"t0": [(0, 100)]}
+        test = {"t0": [(0, 50)]}
+        assert direct_path_accuracy(ref, test) == pytest.approx(0.5)
+
+    def test_missing_thread_penalized(self):
+        ref = {"t0": [(0, 100)], "t1": [(0, 100)]}
+        test = {"t0": [(0, 100)]}
+        assert direct_path_accuracy(ref, test) == pytest.approx(0.5)
+
+    def test_extra_coverage_not_rewarded(self):
+        ref = {"t0": [(0, 100)]}
+        test = {"t0": [(0, 200)]}
+        assert direct_path_accuracy(ref, test) == 1.0
+
+    def test_disjoint_zero(self):
+        assert direct_path_accuracy(
+            {"t0": [(0, 50)]}, {"t0": [(50, 100)]}
+        ) == 0.0
+
+    def test_weighted_by_reference_length(self):
+        ref = {"big": [(0, 900)], "small": [(0, 100)]}
+        test = {"big": [(0, 900)]}
+        assert direct_path_accuracy(ref, test) == pytest.approx(0.9)
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ValueError):
+            direct_path_accuracy({}, {})
+
+
+class TestWeightMatching:
+    def test_identical(self):
+        hist = {1: 10.0, 2: 5.0}
+        assert weight_matching_accuracy(hist, hist) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert weight_matching_accuracy({1: 1.0}, {2: 1.0}) == 0.0
+
+    def test_partial_overlap_between(self):
+        accuracy = weight_matching_accuracy({1: 1.0, 2: 1.0}, {1: 1.0, 3: 1.0})
+        assert 0.0 < accuracy < 1.0
+
+    def test_paper_definition(self):
+        """accuracy = (maxerror - error) / maxerror with maxerror = 2."""
+        ref = {1: 0.6, 2: 0.4}
+        test = {1: 0.4, 2: 0.6}
+        # L1 error = 0.4 -> accuracy = (2 - 0.4) / 2 = 0.8
+        assert weight_matching_accuracy(ref, test) == pytest.approx(0.8)
+
+
+class TestSegmentHistograms:
+    def test_histogram_nonempty(self, tiny_path):
+        histogram = function_histogram_from_segments([seg(tiny_path, 0, 500)])
+        assert histogram
+        assert all(v > 0 for v in histogram.values())
+
+    def test_truncation_reduces_mass(self, tiny_path):
+        full = function_histogram_from_segments([seg(tiny_path, 0, 500)])
+        cut = function_histogram_from_segments([seg(tiny_path, 0, 500, captured=100)])
+        assert sum(cut.values()) < sum(full.values())
+
+    def test_matches_path_model_directly(self, tiny_path):
+        histogram = function_histogram_from_segments([seg(tiny_path, 10, 60)])
+        assert histogram == tiny_path.function_histogram(10, 60)
+
+    def test_empty_capture_skipped(self, tiny_path):
+        assert function_histogram_from_segments([seg(tiny_path, 5, 50, captured=5)]) == {}
+
+
+class TestPairwiseSimilarity:
+    def test_single_trace_fully_similar(self):
+        assert pairwise_trace_similarity([{1: 1.0}]) == 1.0
+
+    def test_identical_repetitions(self, tiny_path):
+        hist = function_histogram_from_segments([seg(tiny_path, 0, 500)])
+        assert pairwise_trace_similarity([hist, hist, hist]) == pytest.approx(1.0)
+
+    def test_similar_ranges_high_similarity(self, tiny_path):
+        """Repetitions of the same app look alike (the Fig 12 premise)."""
+        hists = [
+            function_histogram_from_segments([seg(tiny_path, i * 300, i * 300 + 900)])
+            for i in range(4)
+        ]
+        assert pairwise_trace_similarity(hists) > 0.7

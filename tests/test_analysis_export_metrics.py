@@ -1,0 +1,161 @@
+"""Tests for trace exporters and IPC metrics."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import to_chrome_trace, to_folded_stacks
+from repro.analysis.metrics import detect_ipc_anomalies, ipc_timeline
+from repro.analysis.reconstruct import reconstruct
+from repro.experiments.scenarios import run_traced_execution
+from repro.hwtrace.tracer import TraceSegment
+from repro.util.units import MSEC
+
+
+def make_segment(path, *, t0=0, t1=1000, e0=0, e1=50, captured=None):
+    return TraceSegment(
+        core_id=0, pid=1, tid=2, cr3=0x1000, t_start=t0, t_end=t1,
+        event_start=e0, event_end=e1,
+        captured_event_end=captured if captured is not None else e1,
+        bytes_offered=1.0, bytes_accepted=1.0, path_model=path,
+    )
+
+
+@pytest.fixture(scope="module")
+def decoded_run():
+    run = run_traced_execution("de", "EXIST", cpuset=[0, 1], seed=21)
+    result = reconstruct(run.artifacts.segments, [run.target])
+    return run, result
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self, decoded_run):
+        run, result = decoded_run
+        payload = to_chrome_trace(
+            result.decoded, run.target.binary, run.artifacts.sched_records
+        )
+        doc = json.loads(payload)
+        assert "traceEvents" in doc
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert "X" in phases  # function durations
+        assert "M" in phases  # metadata
+
+    def test_timestamps_microseconds(self, decoded_run):
+        run, result = decoded_run
+        doc = json.loads(to_chrome_trace(result.decoded, run.target.binary))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        first_record = result.decoded.records[0]
+        assert xs[0]["ts"] == pytest.approx(first_record.timestamp / 1000.0)
+
+    def test_sched_records_become_instants(self, decoded_run):
+        run, result = decoded_run
+        records = [(1000, 2, 10, 20, "sched_in")]
+        doc = json.loads(
+            to_chrome_trace(result.decoded, run.target.binary, records)
+        )
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["args"]["cpu"] == 2
+
+    def test_run_merging_reduces_event_count(self, decoded_run):
+        run, result = decoded_run
+        doc = json.loads(to_chrome_trace(result.decoded, run.target.binary))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) < len(result.decoded.records)
+        assert sum(e["args"]["events"] for e in xs) == len(result.decoded.records)
+
+
+class TestFoldedStacks:
+    def test_format(self, decoded_run):
+        run, result = decoded_run
+        folded = to_folded_stacks(result.decoded, run.target.binary)
+        lines = folded.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("de;de::")
+            assert int(count) > 0
+
+    def test_sorted_by_weight(self, decoded_run):
+        run, result = decoded_run
+        folded = to_folded_stacks(result.decoded, run.target.binary)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in folded.strip().splitlines()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_trace(self, decoded_run):
+        run, _ = decoded_run
+        from repro.hwtrace.decoder import DecodedTrace
+
+        assert to_folded_stacks(DecodedTrace(), run.target.binary) == ""
+
+
+class TestIpcTimeline:
+    def test_uniform_segments_uniform_ipc(self, tiny_path):
+        segments = [
+            make_segment(tiny_path, t0=i * MSEC, t1=(i + 1) * MSEC,
+                         e0=i * 100, e1=(i + 1) * 100)
+            for i in range(20)
+        ]
+        samples = ipc_timeline(segments, branch_per_instr=0.15, bucket_ns=5 * MSEC)
+        assert len(samples) == 4
+        ipcs = [s.ipc for s in samples]
+        assert max(ipcs) / min(ipcs) < 1.05
+
+    def test_stall_shows_as_ipc_drop(self, tiny_path):
+        segments = []
+        for i in range(20):
+            # bucket 2-3 (10-20ms): same wall time, half the events (stall)
+            events = 50 if 10 <= i < 20 and i < 15 else 100
+            segments.append(make_segment(
+                tiny_path, t0=i * MSEC, t1=(i + 1) * MSEC,
+                e0=0, e1=events,
+            ))
+        samples = ipc_timeline(segments, branch_per_instr=0.15, bucket_ns=5 * MSEC)
+        anomalies = detect_ipc_anomalies(samples, drop_fraction=0.2)
+        assert anomalies
+        assert all(10 * MSEC <= a.t_start < 15 * MSEC for a in anomalies)
+
+    def test_empty(self):
+        assert ipc_timeline([], branch_per_instr=0.15) == []
+        assert detect_ipc_anomalies([]) == []
+
+    def test_invalid_density(self, tiny_path):
+        with pytest.raises(ValueError):
+            ipc_timeline([make_segment(tiny_path)], branch_per_instr=0)
+
+    def test_real_run_plausible_ipc(self, decoded_run):
+        run, _ = decoded_run
+        profile_bpi = 0.15  # de's branch density
+        samples = ipc_timeline(
+            run.artifacts.segments, branch_per_instr=profile_bpi
+        )
+        assert samples
+        mean_ipc = sum(s.ipc for s in samples) / len(samples)
+        # de runs ~3 instr/ns on a 2.9 GHz model -> IPC near 1
+        assert 0.3 < mean_ipc < 3.0
+
+
+class TestPerfScript:
+    def test_format(self, decoded_run):
+        from repro.analysis.export import to_perf_script
+
+        run, result = decoded_run
+        text = to_perf_script(result.decoded, run.target.binary, limit=50)
+        lines = text.strip().splitlines()
+        assert len(lines) == 50
+        assert "branches:" in lines[0]
+        assert "de::" in lines[0]
+
+    def test_limit_none_renders_all(self, decoded_run):
+        from repro.analysis.export import to_perf_script
+
+        run, result = decoded_run
+        text = to_perf_script(result.decoded, run.target.binary)
+        assert len(text.strip().splitlines()) == len(result.decoded.records)
+
+    def test_empty(self, decoded_run):
+        from repro.analysis.export import to_perf_script
+        from repro.hwtrace.decoder import DecodedTrace
+
+        run, _ = decoded_run
+        assert to_perf_script(DecodedTrace(), run.target.binary) == ""

@@ -1,0 +1,83 @@
+"""Tests for trace-guided optimization proposals (§6.2)."""
+
+import pytest
+
+from repro.analysis.casestudy import BlockingAnomaly
+from repro.analysis.optimize import (
+    Optimization,
+    evaluate_optimization,
+    propose_optimizations,
+)
+from repro.program.workloads import get_workload
+from repro.util.units import MSEC, SEC
+
+
+def anomaly(syscall, blocked_ns, tid=1):
+    return BlockingAnomaly(
+        timestamp=0, pid=1, tid=tid, syscall=syscall, blocked_ns=blocked_ns
+    )
+
+
+class TestProposals:
+    def test_file_write_proposes_async_logging(self):
+        proposals = propose_optimizations([anomaly("file_write", 5 * MSEC)])
+        assert len(proposals) == 1
+        assert "asynchronous logging" in proposals[0].title
+        assert proposals[0].evidence_blocked_ns == 5 * MSEC
+
+    def test_ranked_by_blocked_time(self):
+        proposals = propose_optimizations([
+            anomaly("fsync", 1 * MSEC),
+            anomaly("file_write", 10 * MSEC),
+            anomaly("file_write", 5 * MSEC),
+        ])
+        assert [p.syscall for p in proposals] == ["file_write", "fsync"]
+        assert proposals[0].evidence_blocked_ns == 15 * MSEC
+
+    def test_unknown_syscalls_skipped(self):
+        proposals = propose_optimizations([
+            anomaly("recv_ready", 100 * MSEC),  # benign request idle
+            anomaly("nanosleep", 100 * MSEC),
+        ])
+        assert proposals == []
+
+    def test_threshold_filters_noise(self):
+        proposals = propose_optimizations(
+            [anomaly("file_write", 100)], min_total_blocked_ns=1000
+        )
+        assert proposals == []
+
+    def test_empty_evidence(self):
+        assert propose_optimizations([]) == []
+
+
+class TestApply:
+    def test_async_logging_removes_file_write(self):
+        profile = get_workload("Recommend")
+        assert "file_write" in (profile.extra_syscalls or {})
+        (proposal,) = propose_optimizations([anomaly("file_write", SEC)])
+        fixed = proposal.apply(profile)
+        assert "file_write" not in (fixed.extra_syscalls or {})
+        # other syscalls untouched
+        assert "futex_wait" in (fixed.extra_syscalls or {})
+        # original profile unmodified (profiles are immutable values)
+        assert "file_write" in (profile.extra_syscalls or {})
+
+    def test_futex_fix_halves_rate(self):
+        profile = get_workload("Recommend")
+        (proposal,) = propose_optimizations([anomaly("futex_wait", SEC)])
+        fixed = proposal.apply(profile)
+        assert fixed.extra_syscalls["futex_wait"] == pytest.approx(
+            profile.extra_syscalls["futex_wait"] / 2
+        )
+
+
+class TestClosedLoop:
+    def test_fix_measurably_improves_throughput(self):
+        """The full §6.2 loop: evidence -> proposal -> applied fix ->
+        measured improvement."""
+        profile = get_workload("Recommend")
+        (proposal,) = propose_optimizations([anomaly("file_write", SEC)])
+        outcome = evaluate_optimization(profile, proposal, seed=9, window_s=0.15)
+        assert outcome.after_rps > outcome.before_rps
+        assert outcome.improvement > 0.01  # blocking writes off the path

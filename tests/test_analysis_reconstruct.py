@@ -1,0 +1,92 @@
+"""Tests for the reconstruction pipeline and thread-identity helpers."""
+
+import pytest
+
+from repro.analysis.accuracy import direct_path_accuracy
+from repro.analysis.reconstruct import (
+    coverage_by_thread,
+    reconstruct,
+    thread_labels,
+)
+from repro.experiments.scenarios import run_traced_execution
+from repro.hwtrace.tracer import TraceSegment
+from repro.kernel.task import Process
+
+
+def seg(path, tid, e0, e1, captured=None):
+    return TraceSegment(
+        core_id=0, pid=1, tid=tid, cr3=0x1000, t_start=0, t_end=1,
+        event_start=e0, event_end=e1,
+        captured_event_end=captured if captured is not None else e1,
+        bytes_offered=1.0, bytes_accepted=1.0, path_model=path,
+    )
+
+
+class TestThreadLabels:
+    def test_stable_names_across_runs(self):
+        a = run_traced_execution("ex", "Oracle", cpuset=[0], seed=4)
+        b = run_traced_execution("ex", "Oracle", cpuset=[0], seed=4)
+        assert list(thread_labels(a.target).values()) == list(
+            thread_labels(b.target).values()
+        )
+        assert list(thread_labels(a.target).values()) == ["ex/0"]
+
+
+class TestCoverage:
+    def test_by_thread_merges_intervals(self, tiny_path):
+        labels = {7: "app/0"}
+        segments = [seg(tiny_path, 7, 0, 50), seg(tiny_path, 7, 40, 90)]
+        coverage = coverage_by_thread(segments, labels)
+        assert coverage == {"app/0": [(0, 90)]}
+
+    def test_unknown_tids_skipped(self, tiny_path):
+        coverage = coverage_by_thread([seg(tiny_path, 99, 0, 50)], {7: "x"})
+        assert coverage == {}
+
+    def test_truncated_capture_respected(self, tiny_path):
+        coverage = coverage_by_thread(
+            [seg(tiny_path, 7, 0, 100, captured=60)], {7: "t"}
+        )
+        assert coverage == {"t": [(0, 60)]}
+
+    def test_empty_captures_dropped(self, tiny_path):
+        coverage = coverage_by_thread(
+            [seg(tiny_path, 7, 10, 50, captured=10)], {7: "t"}
+        )
+        assert coverage == {}
+
+
+class TestReconstruct:
+    def test_pipeline_produces_records(self, tiny_path, tiny_binary):
+        process = Process(name="app", binary=tiny_binary, cr3=0x1000)
+        result = reconstruct([seg(tiny_path, 1, 0, 80)], [process])
+        assert len(result.decoded) == 80
+        assert result.n_segments == 1
+        assert result.stream_bytes > 0
+
+    def test_function_histogram_by_name(self, tiny_path, tiny_binary):
+        process = Process(name="app", binary=tiny_binary, cr3=0x1000)
+        result = reconstruct([seg(tiny_path, 1, 0, 200)], [process])
+        by_name = result.function_histogram(tiny_binary)
+        assert by_name
+        assert all(name.startswith("tinybin::") for name in by_name)
+
+
+class TestCrossRunAccuracyEquivalence:
+    """Interval-based accuracy equals what the decoded sequences show."""
+
+    def test_decoded_sequence_is_prefix_of_reference(self):
+        ref = run_traced_execution("ex", "NHT", cpuset=[0, 1], seed=4)
+        exi = run_traced_execution("ex", "EXIST", cpuset=[0, 1], seed=4)
+        ref_rec = reconstruct(ref.artifacts.segments, [ref.target])
+        exi_rec = reconstruct(exi.artifacts.segments, [exi.target])
+        ref_seq = ref_rec.decoded.block_sequence()
+        exi_seq = exi_rec.decoded.block_sequence()
+        # EXIST's capture is a prefix-of-coverage subset of NHT's
+        assert len(exi_seq) <= len(ref_seq)
+        assert exi_seq == ref_seq[: len(exi_seq)]
+
+        cov_ref = coverage_by_thread(ref.artifacts.segments, thread_labels(ref.target))
+        cov_exi = coverage_by_thread(exi.artifacts.segments, thread_labels(exi.target))
+        accuracy = direct_path_accuracy(cov_ref, cov_exi)
+        assert accuracy == pytest.approx(len(exi_seq) / len(ref_seq), abs=0.02)

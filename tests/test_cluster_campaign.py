@@ -1,0 +1,70 @@
+"""Tests for periodic cluster-wide profiling campaigns (§3.4)."""
+
+import pytest
+
+from repro.cluster.campaign import ProfilingCampaign
+from repro.cluster.crd import TaskPhase
+from repro.cluster.master import ClusterMaster
+from repro.cluster.node import ClusterNode
+from repro.util.units import MSEC
+
+
+@pytest.fixture
+def cluster():
+    master = ClusterMaster(seed=6)
+    for index in range(3):
+        master.add_node(ClusterNode(f"node-{index}", seed=index))
+    master.deploy("Cache", replicas=3)
+    master.deploy("Agent", replicas=2)
+    return master
+
+
+class TestCampaignSetup:
+    def test_requires_apps(self, cluster):
+        with pytest.raises(ValueError):
+            ProfilingCampaign(cluster, apps=[])
+
+    def test_rejects_undeployed_apps(self, cluster):
+        with pytest.raises(ValueError, match="not deployed"):
+            ProfilingCampaign(cluster, apps=["Cache", "ghost"])
+
+
+class TestCampaignRounds:
+    def test_round_submits_and_completes_tasks(self, cluster):
+        campaign = ProfilingCampaign(
+            cluster, apps=["Cache", "Agent"],
+            budget_core_seconds_per_round=10.0,
+            period_ns=120 * MSEC,
+        )
+        tasks = campaign.run_round()
+        assert tasks
+        assert all(t.status.phase is TaskPhase.COMPLETE for t in tasks)
+        assert all(t.spec.requester == "profiling-campaign" for t in tasks)
+
+    def test_budget_limits_apps_per_round(self, cluster):
+        campaign = ProfilingCampaign(
+            cluster, apps=["Cache", "Agent"],
+            budget_core_seconds_per_round=0.01,  # enough for one app only
+            period_ns=120 * MSEC,
+        )
+        first = campaign.run_round()
+        assert len(first) == 1
+        # the next round resumes with the other app (round robin)
+        second = campaign.run_round()
+        assert len(second) == 1
+        apps = {t.spec.app for t in first + second}
+        assert apps == {"Cache", "Agent"}
+
+    def test_coverage_accumulates_across_rounds(self, cluster):
+        campaign = ProfilingCampaign(
+            cluster, apps=["Cache"],
+            budget_core_seconds_per_round=10.0,
+            period_ns=150 * MSEC,
+        )
+        campaign.run_round()
+        first = campaign.coverage_report()["Cache"]
+        for _ in range(2):
+            campaign.run_round()
+        later = campaign.coverage_report()["Cache"]
+        assert 0.0 < first <= later <= 1.0
+        assert campaign.progress["Cache"].rounds == 3

@@ -1,0 +1,102 @@
+"""Tests for anomaly detection and automatic trace triggering (§3.1)."""
+
+import pytest
+
+from repro.cluster.crd import TaskPhase
+from repro.cluster.detector import AnomalyTrigger, MetricMonitor
+from repro.cluster.master import ClusterMaster
+from repro.cluster.node import ClusterNode
+from repro.core.config import TraceReason
+from repro.util.units import SEC
+
+
+class TestMetricMonitor:
+    def test_warmup_never_flags(self):
+        monitor = MetricMonitor(warmup_samples=5)
+        for value in (10, 11, 10, 1000, 9):  # wild value during warmup
+            assert monitor.observe("app", "rt", value) is None
+
+    def test_stable_series_never_flags(self):
+        monitor = MetricMonitor()
+        for index in range(100):
+            value = 100 + (index % 5)
+            assert monitor.observe("app", "rt", value) is None
+
+    def test_spike_flags(self):
+        monitor = MetricMonitor(z_threshold=4.0)
+        for _ in range(20):
+            monitor.observe("app", "rt", 100.0)
+        event = monitor.observe("app", "rt", 400.0, timestamp_ns=123)
+        assert event is not None
+        assert event.z_score > 4.0
+        assert event.baseline == pytest.approx(100.0, rel=0.05)
+        assert event.timestamp_ns == 123
+
+    def test_anomaly_not_folded_into_baseline(self):
+        monitor = MetricMonitor()
+        for _ in range(20):
+            monitor.observe("app", "rt", 100.0)
+        monitor.observe("app", "rt", 500.0)
+        baseline = monitor.baseline_of("app", "rt")
+        assert baseline.mean == pytest.approx(100.0, rel=0.05)
+
+    def test_series_are_independent(self):
+        monitor = MetricMonitor()
+        for _ in range(20):
+            monitor.observe("a", "rt", 100.0)
+            monitor.observe("b", "rt", 1000.0)
+        # b's normal value is a's anomaly, and vice versa
+        assert monitor.observe("a", "rt", 1000.0) is not None
+        assert monitor.observe("b", "rt", 1000.0) is None
+
+    def test_gradual_drift_absorbed(self):
+        monitor = MetricMonitor()
+        value = 100.0
+        for _ in range(200):
+            assert monitor.observe("app", "rt", value) is None
+            value *= 1.005  # slow drift tracks into the baseline
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MetricMonitor(alpha=0.0)
+
+
+class TestAnomalyTrigger:
+    @pytest.fixture
+    def cluster(self):
+        master = ClusterMaster(seed=8)
+        master.add_node(ClusterNode("n0", seed=0))
+        master.add_node(ClusterNode("n1", seed=1))
+        master.deploy("Cache", replicas=2)
+        return master
+
+    def test_anomaly_submits_and_reconciles_task(self, cluster):
+        trigger = AnomalyTrigger(cluster)
+        for step in range(20):
+            trigger.feed("Cache", "p99_ms", 10.0, timestamp_ns=step * SEC)
+        task = trigger.feed("Cache", "p99_ms", 80.0, timestamp_ns=21 * SEC)
+        assert task is not None
+        assert task.spec.reason is TraceReason.ANOMALY
+        assert task.spec.requester == "anomaly-detector/p99_ms"
+        assert task.status.phase is TaskPhase.COMPLETE
+        assert task.status.sessions_completed == 2  # anomalies trace all
+
+    def test_cooldown_suppresses_stampede(self, cluster):
+        trigger = AnomalyTrigger(cluster, cooldown_ns=30 * SEC)
+        for step in range(20):
+            trigger.feed("Cache", "p99_ms", 10.0, timestamp_ns=step * SEC)
+        first = trigger.feed("Cache", "p99_ms", 90.0, timestamp_ns=20 * SEC)
+        second = trigger.feed("Cache", "p99_ms", 95.0, timestamp_ns=21 * SEC)
+        third = trigger.feed("Cache", "p99_ms", 95.0, timestamp_ns=60 * SEC)
+        assert first is not None
+        assert second is None  # within cooldown
+        assert third is not None  # cooldown expired
+        assert len(trigger.triggered_tasks) == 2
+
+    def test_manual_reconcile_mode(self, cluster):
+        trigger = AnomalyTrigger(cluster, auto_reconcile=False)
+        for step in range(20):
+            trigger.feed("Cache", "p99_ms", 10.0, timestamp_ns=step * SEC)
+        task = trigger.feed("Cache", "p99_ms", 90.0, timestamp_ns=20 * SEC)
+        assert task is not None
+        assert task.status.phase is TaskPhase.PENDING

@@ -1,0 +1,53 @@
+"""Unit tests for EXIST configuration and tracing requests."""
+
+import pytest
+
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.util.units import MIB, MSEC, SEC
+
+
+class TestExistConfig:
+    def test_paper_defaults(self):
+        config = ExistConfig()
+        # §4 hyperparameters: ~5e2 MB node budget, 4-128 MB buffers, 0.1-2s
+        assert config.node_budget_bytes == 500 * MIB
+        assert config.per_core_buffer_min == 4 * MIB
+        assert config.per_core_buffer_max == 128 * MIB
+        assert config.period_min_ns == 100 * MSEC
+        assert config.period_max_ns == 2 * SEC
+
+    def test_clamp_period(self):
+        config = ExistConfig()
+        assert config.clamp_period(1) == config.period_min_ns
+        assert config.clamp_period(10 * SEC) == config.period_max_ns
+        assert config.clamp_period(SEC) == SEC
+
+    def test_clamp_buffer(self):
+        config = ExistConfig()
+        assert config.clamp_buffer(1) == 4 * MIB
+        assert config.clamp_buffer(1024 * MIB) == 128 * MIB
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ExistConfig(per_core_buffer_min=10 * MIB, per_core_buffer_max=5 * MIB)
+        with pytest.raises(ValueError):
+            ExistConfig(session_budget_bytes=600 * MIB)
+        with pytest.raises(ValueError):
+            ExistConfig(core_sampling_ratio=0.0)
+        with pytest.raises(ValueError):
+            ExistConfig(period_min_ns=3 * SEC)
+
+
+class TestTracingRequest:
+    def test_explicit_period_clamped(self):
+        config = ExistConfig()
+        request = TracingRequest(target="app", period_ns=10 * SEC)
+        assert request.resolved_period(config, 500 * MSEC) == 2 * SEC
+
+    def test_default_period_used_when_unset(self):
+        config = ExistConfig()
+        request = TracingRequest(target="app")
+        assert request.resolved_period(config, 700 * MSEC) == 700 * MSEC
+
+    def test_default_reason_is_user(self):
+        assert TracingRequest(target="x").reason is TraceReason.USER

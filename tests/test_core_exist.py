@@ -1,0 +1,97 @@
+"""Tests for the EXIST scheme adapter."""
+
+import pytest
+
+from repro.core.config import ExistConfig
+from repro.core.exist import ExistScheme
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.util.units import MIB, MSEC, SEC
+
+
+def run_exist(workload="ex", seed=5, window_ms=None, **scheme_kwargs):
+    system = KernelSystem(SystemConfig.small_node(8, seed=seed))
+    process = get_workload(workload).spawn(system, cpuset=[0, 1, 2, 3], seed=seed)
+    scheme = ExistScheme(**scheme_kwargs)
+    scheme.install(system, [process])
+    if window_ms is None:
+        system.run_until_done([process], deadline_ns=10 * SEC)
+    else:
+        system.run_for(window_ms * MSEC)
+    return system, process, scheme
+
+
+class TestContinuousSessions:
+    def test_sessions_restart_back_to_back(self):
+        system, process, scheme = run_exist(
+            workload="mc", window_ms=1200, period_ns=300 * MSEC, continuous=True
+        )
+        assert scheme.sessions_completed >= 3
+
+    def test_single_session_mode(self):
+        system, process, scheme = run_exist(
+            workload="mc", window_ms=800, period_ns=200 * MSEC, continuous=False
+        )
+        scheme.finish_sessions()
+        assert scheme.sessions_completed == 1
+
+    def test_uninstall_stops_restarts(self):
+        system, process, scheme = run_exist(
+            workload="mc", window_ms=400, period_ns=200 * MSEC, continuous=True
+        )
+        completed = scheme.sessions_completed
+        scheme.uninstall()
+        system.run_for(600 * MSEC)
+        assert scheme.sessions_completed <= completed + 1
+
+
+class TestArtifacts:
+    def test_segments_and_records_collected(self):
+        _, process, scheme = run_exist(workload="ex")
+        artifacts = scheme.artifacts()
+        assert artifacts.scheme == "EXIST"
+        assert artifacts.segments
+        assert all(s.pid == process.pid for s in artifacts.segments)
+        assert artifacts.space_bytes > 0
+        assert artifacts.ledger is scheme.ledger
+
+    def test_space_capped_by_session_buffers(self):
+        """Compulsory buffers bound the per-session capture volume."""
+        budget = 32 * MIB
+        _, _, scheme = run_exist(
+            workload="ex",
+            continuous=False,
+            period_ns=2 * SEC,
+            session_budget_bytes=budget,
+        )
+        artifacts = scheme.artifacts()
+        assert artifacts.space_bytes <= budget * 1.01
+
+    def test_overhead_is_per_mille_scale(self):
+        from repro.tracing.oracle import OracleScheme
+
+        system_o = KernelSystem(SystemConfig.small_node(8, seed=5))
+        p_o = get_workload("ex").spawn(system_o, cpuset=[0, 1, 2, 3], seed=5)
+        OracleScheme().install(system_o, [p_o])
+        system_o.run_until_done([p_o], deadline_ns=10 * SEC)
+        t_oracle = max(t.done_at for t in p_o.threads)
+
+        _, p_e, _ = run_exist(workload="ex", seed=5)
+        t_exist = max(t.done_at for t in p_e.threads)
+        slowdown = t_exist / t_oracle
+        assert 1.0 <= slowdown < 1.02  # per-mille-to-2% band
+
+
+class TestCoreSamplingKnob:
+    def test_ratio_propagates_to_sessions(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=5))
+        process = get_workload("Search2").spawn(system, seed=5)  # CPU-share
+        scheme = ExistScheme(
+            period_ns=150 * MSEC, continuous=False, core_sampling_ratio=0.25
+        )
+        scheme.install(system, [process])
+        system.run_for(300 * MSEC)
+        scheme.finish_sessions()
+        assert scheme.facility is not None
+        plan = scheme.facility.completed[0].plan
+        assert len(plan.traced_cores) <= max(2, int(0.5 * len(plan.mapped_cores)))

@@ -1,0 +1,192 @@
+"""Unit tests for the operation-aware tracing controller (§3.2)."""
+
+import pytest
+
+from repro.core.config import ExistConfig
+from repro.core.facility import ExistFacility
+from repro.core.uma import UsageAwareMemoryAllocator
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.util.units import MSEC, SEC
+
+
+def start_session(system, facility, workload="mc", cpuset=(0, 1), period_ms=100):
+    target = get_workload(workload).spawn(system, cpuset=list(cpuset), seed=3)
+    uma = facility.uma
+    plan, outputs = uma.plan_and_allocate(system, target)
+    session = facility.otc.start(target, plan, outputs, period_ms * MSEC)
+    return target, session
+
+
+@pytest.fixture
+def rig():
+    system = KernelSystem(SystemConfig.small_node(8, seed=3))
+    facility = ExistFacility(system, ExistConfig())
+    facility.install()
+    return system, facility
+
+
+class TestSessionLifecycle:
+    def test_hrt_stops_session(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        assert session.stopped
+        assert session.stop_reason == "hrt-expired"
+        assert session.stop_ns >= session.start_ns + 100 * MSEC
+
+    def test_explicit_stop(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=500)
+        system.run_for(50 * MSEC)
+        facility.otc.stop(session, "user")
+        assert session.stopped
+        assert session.stop_reason == "user"
+
+    def test_stop_idempotent(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility)
+        facility.otc.stop(session)
+        facility.otc.stop(session)  # no error
+
+    def test_segments_collected_at_stop(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        assert session.segments
+        assert all(s.pid == target.pid for s in session.segments)
+
+    def test_tracers_disabled_after_stop(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        for core_id in session.plan.traced_cores:
+            assert not facility.tracers[core_id].enabled
+
+    def test_conflicting_coresets_rejected(self):
+        from repro.util.units import MIB
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=3))
+        facility = ExistFacility(
+            system, ExistConfig(session_budget_bytes=64 * MIB)
+        )
+        facility.install()
+        start_session(system, facility, cpuset=(0, 1))
+        with pytest.raises(RuntimeError, match="already being traced"):
+            start_session(system, facility, cpuset=(1, 2))
+
+
+class TestOperationCounts:
+    """The O(#sched) → O(#cores) reduction, measured."""
+
+    def test_enables_bounded_by_coreset(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=200)
+        system.run_for(250 * MSEC)
+        assert len(session.enabled_cores) <= len(session.plan.traced_cores)
+
+    def test_msr_ops_constant_in_switches(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=200)
+        system.run_for(250 * MSEC)
+        switches = system.scheduler.total_context_switches
+        ops = facility.otc.session_msr_operations(session)
+        # thousands of switches, a handful of MSR operations
+        assert switches > 500
+        assert ops <= 6 * len(session.plan.traced_cores)
+
+    def test_sched_records_written(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        assert session.sched_records
+        timestamp, cpu, pid, tid, operation = session.sched_records[0]
+        assert pid in (target.pid, 0)
+        assert operation in ("sched_in", "idle")
+
+    def test_no_mode_switches_charged(self, rig):
+        """OTC operates purely in kernel mode (§3.2)."""
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        assert facility.ledger.count("mode_switch") == 0
+
+    def test_hook_detached_after_stop(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        system.run_for(150 * MSEC)
+        fires_at_stop = session.sched_records[-1][0]
+        system.run_for(100 * MSEC)
+        # no new records after the session stopped
+        assert session.sched_records[-1][0] == fires_at_stop
+
+
+class TestCapture:
+    def test_only_target_captured(self, rig):
+        system, facility = rig
+        neighbour = get_workload("de").spawn(system, cpuset=[0, 1], seed=8)
+        target, session = start_session(system, facility, cpuset=(0, 1))
+        system.run_for(150 * MSEC)
+        pids = {s.pid for s in session.segments}
+        assert pids == {target.pid}
+
+    def test_already_running_target_captured_at_start(self, rig):
+        """Targets on-CPU when tracing starts are enabled immediately."""
+        system, facility = rig
+        target = get_workload("ex").spawn(system, cpuset=[0], seed=3)
+        system.run_for(10 * MSEC)  # compute thread is now running (no blocks)
+        plan, outputs = facility.uma.plan_and_allocate(system, target)
+        session = facility.otc.start(target, plan, outputs, 100 * MSEC)
+        assert 0 in session.enabled_cores
+        system.run_for(150 * MSEC)
+        assert session.segments
+
+
+class TestConcurrentSessions:
+    """Two targets traced simultaneously on disjoint coresets."""
+
+    def test_two_sessions_disjoint_coresets(self):
+        from repro.util.units import MIB
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=3))
+        facility = ExistFacility(
+            system,
+            ExistConfig(session_budget_bytes=64 * MIB,
+                        node_budget_bytes=200 * MIB),
+        )
+        facility.install()
+        search = get_workload("Search1").spawn(system, cpuset=[0, 1, 2, 3], seed=3)
+        mc = get_workload("mc").spawn(system, cpuset=[4, 5], seed=4)
+
+        from repro.core.config import TracingRequest
+
+        s1 = facility.begin_tracing(TracingRequest(target="Search1", period_ns=150 * MSEC))
+        s2 = facility.begin_tracing(TracingRequest(target="mc", period_ns=150 * MSEC))
+        assert len(facility.otc.active_sessions) == 2
+        system.run_for(220 * MSEC)
+        assert s1.stopped and s2.stopped
+        # each session captured only its own target
+        assert {seg.pid for seg in s1.segments} == {search.pid}
+        assert {seg.pid for seg in s2.segments} == {mc.pid}
+        # buffers all released afterwards
+        assert system.facility_memory_bytes == 0
+
+    def test_sessions_do_not_cross_capture_on_shared_node(self):
+        from repro.core.config import TracingRequest
+        from repro.util.units import MIB
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=3))
+        facility = ExistFacility(
+            system,
+            ExistConfig(session_budget_bytes=48 * MIB,
+                        node_budget_bytes=200 * MIB),
+        )
+        facility.install()
+        # both targets share cores 0-1: CR3 filters keep captures apart
+        a = get_workload("mc").spawn(system, cpuset=[0, 1], seed=3)
+        b = get_workload("ng").spawn(system, cpuset=[2, 3], seed=4)
+        sa = facility.begin_tracing(TracingRequest(target="mc", period_ns=120 * MSEC))
+        sb = facility.begin_tracing(TracingRequest(target="ng", period_ns=120 * MSEC))
+        system.run_for(180 * MSEC)
+        assert {seg.cr3 for seg in sa.segments} == {a.cr3}
+        assert {seg.cr3 for seg in sb.segments} == {b.cr3}

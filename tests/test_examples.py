@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are part of the public contract (deliverable b); these tests
+keep them green as the library evolves.  Each runs in a subprocess so a
+crashed example can't poison the test process.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # deliverable: at least three runnable examples
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "MSR operations" in result.stdout
+    assert "hottest functions" in result.stdout
+
+
+def test_anomaly_diagnosis():
+    result = run_example("anomaly_diagnosis.py")
+    assert result.returncode == 0, result.stderr
+    assert "blocking anomalies" in result.stdout
+    assert "file_write" in result.stdout
+
+
+def test_cluster_profiling():
+    result = run_example("cluster_profiling.py")
+    assert result.returncode == 0, result.stderr
+    assert "trace augmentation" in result.stdout
+    assert "management pod" in result.stdout
+
+
+def test_scheme_comparison():
+    result = run_example("scheme_comparison.py", "ng")
+    assert result.returncode == 0, result.stderr
+    assert "EXIST" in result.stdout
+    assert "NHT" in result.stdout
+
+
+def test_two_level_observability():
+    result = run_example("two_level_observability.py")
+    assert result.returncode == 0, result.stderr
+    assert "culprit" in result.stdout
+    assert "diagnosis" in result.stdout
+
+
+@pytest.mark.slow
+def test_paper_figures():
+    result = run_example("paper_figures.py")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 13" in result.stdout
+    assert "Figure 6" in result.stdout

@@ -1,0 +1,116 @@
+"""Tests for the scenario harnesses used by the benchmarks."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCHEME_FACTORIES,
+    SCHEME_ORDER,
+    make_scheme,
+    run_compute_slowdown,
+    run_online_throughput,
+    run_traced_execution,
+)
+from repro.program.workloads import get_workload
+
+
+class TestMakeScheme:
+    def test_all_table2_schemes_constructible(self):
+        for name in SCHEME_ORDER:
+            scheme = make_scheme(name)
+            assert scheme.name == name
+
+    def test_kwargs_forwarded(self):
+        scheme = make_scheme("StaSam", frequency_hz=999)
+        assert scheme.frequency_hz == 999
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_scheme("Zipkin")
+
+
+class TestRunTracedExecution:
+    def test_compute_run_sets_completion(self):
+        run = run_traced_execution("ex", "Oracle", cpuset=[0], seed=2)
+        assert run.completion_ns is not None
+        assert run.throughput_rps is None
+        assert run.workload == "ex"
+        assert run.scheme == "Oracle"
+
+    def test_online_run_sets_throughput(self):
+        run = run_traced_execution(
+            "mc", "Oracle", cpuset=[0, 1], seed=2, window_s=0.1
+        )
+        assert run.throughput_rps is not None
+        assert run.throughput_rps > 0
+        assert run.completion_ns is None
+
+    def test_neighbours_spawned(self):
+        neighbour = get_workload("de")
+        run = run_traced_execution(
+            "ex", "Oracle", cpuset=[0, 1], seed=2,
+            neighbours=[(neighbour, [0, 1])],
+        )
+        names = {p.name for p in run.system.processes}
+        assert names == {"ex", "de"}
+
+    def test_deadline_miss_raises(self):
+        with pytest.raises(RuntimeError):
+            run_traced_execution("ex", "Oracle", cpuset=[0], seed=2, deadline_s=0.01)
+
+
+class TestSlowdownHarness:
+    def test_same_seed_identical_oracle(self):
+        a = run_compute_slowdown("ex", schemes=["Oracle"], cpuset=[0], seed=3)
+        b = run_compute_slowdown("ex", schemes=["Oracle"], cpuset=[0], seed=3)
+        assert a == b
+
+    def test_oracle_normalized_to_one(self):
+        result = run_compute_slowdown("ex", schemes=["Oracle", "EXIST"], cpuset=[0])
+        assert result["Oracle"] == 1.0
+        assert result["EXIST"] >= 1.0
+
+    def test_missing_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            run_compute_slowdown("ex", schemes=["EXIST"], cpuset=[0])
+
+    def test_figure13_ordering_spot_check(self):
+        """EXIST beats every baseline on a representative workload."""
+        result = run_compute_slowdown("de", cpuset=[0, 1, 2, 3], seed=7)
+        exist_overhead = result["EXIST"] - 1
+        assert 0.0 < exist_overhead < 0.02
+        for baseline in ("StaSam", "eBPF", "NHT"):
+            assert result[baseline] > result["EXIST"]
+        assert result["NHT"] == max(result.values())
+
+
+class TestThroughputHarness:
+    def test_figure14_ordering_spot_check(self):
+        result = run_online_throughput(
+            "ng", cpuset=[0, 1, 2, 3], seed=7, window_s=0.15
+        )
+        assert result["Oracle"] == 1.0
+        assert result["EXIST"] > 0.97  # ~1% throughput loss
+        for baseline in ("StaSam", "eBPF", "NHT"):
+            assert result[baseline] < result["EXIST"]
+        assert result["NHT"] == min(result.values())
+
+
+class TestTables:
+    def test_slowdown_table_shape(self):
+        from repro.experiments.scenarios import slowdown_table
+
+        table = slowdown_table(["ex", "de"], schemes=["Oracle", "EXIST"],
+                               cpuset=[0], seed=3)
+        assert set(table) == {"ex", "de"}
+        for row in table.values():
+            assert set(row) == {"Oracle", "EXIST"}
+            assert row["Oracle"] == 1.0
+
+    def test_throughput_table_shape(self):
+        from repro.experiments.scenarios import throughput_table
+
+        table = throughput_table(["ng"], schemes=["Oracle", "EXIST"],
+                                 cpuset=[0, 1], seed=3, window_s=0.1)
+        assert set(table) == {"ng"}
+        assert table["ng"]["Oracle"] == 1.0
+        assert 0.9 < table["ng"]["EXIST"] <= 1.02

@@ -1,0 +1,53 @@
+"""Tests for the shared accuracy-measurement harnesses."""
+
+import pytest
+
+from repro.core.exist import ExistScheme
+from repro.experiments.accuracy import (
+    direct_accuracy_vs_nht,
+    weight_accuracy_vs_nht,
+)
+from repro.util.units import MIB, MSEC
+
+
+class TestDirectAccuracy:
+    def test_single_threaded_high(self):
+        accuracy = direct_accuracy_vs_nht("de", seed=31)
+        assert 0.80 < accuracy <= 1.0
+
+    def test_tight_budget_lowers_accuracy(self):
+        full = direct_accuracy_vs_nht("de", seed=31)
+        tight = direct_accuracy_vs_nht(
+            "de",
+            scheme=ExistScheme(session_budget_bytes=16 * MIB),
+            seed=31,
+        )
+        assert tight < full
+
+    def test_deterministic(self):
+        assert direct_accuracy_vs_nht("ex", cpuset=[0], seed=5) == (
+            direct_accuracy_vs_nht("ex", cpuset=[0], seed=5)
+        )
+
+
+class TestWeightAccuracy:
+    def test_service_accuracy_in_band(self):
+        accuracy = weight_accuracy_vs_nht("Cache", period_ms=150, seed=31)
+        assert 0.5 < accuracy <= 1.0
+
+    def test_custom_scheme_factory(self):
+        accuracy = weight_accuracy_vs_nht(
+            "Cache",
+            period_ms=150,
+            scheme_factory=lambda: ExistScheme(
+                period_ns=150 * MSEC, continuous=False,
+                session_budget_bytes=32 * MIB,
+            ),
+            seed=31,
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_longer_period_not_worse(self):
+        short = weight_accuracy_vs_nht("Pred", period_ms=100, seed=31)
+        longer = weight_accuracy_vs_nht("Pred", period_ms=400, seed=31)
+        assert longer > short - 0.15  # longer windows stabilize histograms

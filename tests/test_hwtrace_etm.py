@@ -1,0 +1,200 @@
+"""Tests for the ARM ETM backend (§6.2 platform portability)."""
+
+import pytest
+
+from repro.core.config import ExistConfig, TracingRequest
+from repro.core.facility import ExistFacility
+from repro.hwtrace.etm import (
+    TRCCIDCVR0,
+    TRCCONFIGR,
+    TRCOSLAR,
+    EtmCoreTracer,
+    EtmLockError,
+    EtmRegisterFile,
+    EtmVolumeModel,
+)
+from repro.hwtrace.topa import ToPAOutput
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.util.units import MIB, MSEC
+
+
+class TestRegisterFile:
+    def test_programming_requires_unlock(self, ledger):
+        regs = EtmRegisterFile(0, ledger)
+        with pytest.raises(EtmLockError, match="OS lock"):
+            regs.write(TRCCONFIGR, 1)
+        regs.write(TRCOSLAR, 0)
+        regs.write(TRCCONFIGR, 1)  # legal now
+
+    def test_programming_requires_disabled(self, ledger):
+        regs = EtmRegisterFile(0, ledger)
+        regs.configure(cr3_match=0x42)
+        regs.enable()
+        regs.write(TRCOSLAR, 0)
+        with pytest.raises(EtmLockError, match="trace disabled"):
+            regs.write(TRCCIDCVR0, 0x99)
+
+    def test_configure_brackets_with_lock(self, ledger):
+        regs = EtmRegisterFile(0, ledger)
+        regs.configure(cr3_match=0x42)
+        assert regs.os_locked  # relocked afterwards
+        assert regs.cr3_match == 0x42
+        assert ledger.count("etm_unlock") == 2  # unlock + relock
+
+    def test_enable_disable(self, ledger):
+        regs = EtmRegisterFile(0, ledger)
+        regs.configure()
+        regs.enable()
+        assert regs.trace_enabled
+        regs.disable()
+        assert not regs.trace_enabled
+        # redundant disable is free
+        writes = regs.write_count
+        regs.disable()
+        assert regs.write_count == writes
+
+    def test_unknown_register(self, ledger):
+        with pytest.raises(ValueError):
+            EtmRegisterFile(0, ledger).write(0x999, 1)
+
+
+class TestEtmTracer:
+    def test_denser_encoding_than_ipt(self):
+        from repro.hwtrace.tracer import VolumeModel
+
+        etm, ipt = EtmVolumeModel(), VolumeModel()
+        assert etm.slice_bytes(100_000, 0.05) < ipt.slice_bytes(100_000, 0.05)
+
+    def test_capture_with_context_filter(self, ledger, tiny_path):
+        tracer = EtmCoreTracer(0, ledger)
+        tracer.attach_output(ToPAOutput.single_region(4 * MIB))
+        tracer.msr.configure(cr3_match=0xAAA)
+        tracer.msr.enable()
+        matched = tracer.observe_slice(
+            pid=1, tid=1, cr3=0xAAA, t_start=0, t_end=1,
+            event_start=0, event_end=10, branches=1000, path_model=tiny_path,
+        )
+        dropped = tracer.observe_slice(
+            pid=2, tid=2, cr3=0xBBB, t_start=1, t_end=2,
+            event_start=0, event_end=10, branches=1000, path_model=tiny_path,
+        )
+        assert matched is not None
+        assert dropped is None
+        assert tracer.filtered_slices == 1
+
+    def test_attach_while_enabled_rejected(self, ledger):
+        tracer = EtmCoreTracer(0, ledger)
+        tracer.attach_output(ToPAOutput.single_region(4 * MIB))
+        tracer.msr.configure()
+        tracer.msr.enable()
+        with pytest.raises(EtmLockError):
+            tracer.attach_output(ToPAOutput.single_region(4 * MIB))
+
+
+class TestExistOnEtm:
+    """The §6.2 claim: EXIST's design runs unchanged on the ARM model."""
+
+    def test_full_session_on_etm_backend(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=6))
+        get_workload("mc").spawn(system, cpuset=[0, 1], seed=6)
+        facility = ExistFacility(system, ExistConfig(), backend="etm")
+        facility.install()
+        session = facility.begin_tracing(
+            TracingRequest(target="mc", period_ns=100 * MSEC)
+        )
+        system.run_for(150 * MSEC)
+        assert session.stopped
+        assert session.segments
+        assert session.bytes_captured > 1 * MIB
+        # control stayed O(#cores): a handful of MMIO writes, not per-switch
+        assert facility.ledger.count("etm_mmio") < 50
+        assert system.scheduler.total_context_switches > 1000
+
+    def test_unknown_backend_rejected(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        with pytest.raises(ValueError):
+            ExistFacility(system, backend="riscv-trace")
+
+    def test_scheme_adapter_backend_passthrough(self):
+        from repro.core.exist import ExistScheme
+        from repro.experiments.scenarios import run_traced_execution
+
+        run = run_traced_execution(
+            "de", ExistScheme(backend="etm", continuous=False,
+                              period_ns=300 * MSEC),
+            cpuset=[0, 1], seed=6,
+        )
+        assert run.artifacts.segments
+        assert run.artifacts.ledger.count("etm_mmio") > 0
+        assert run.artifacts.ledger.count("wrmsr") == 0
+
+
+class TestRiscvBackend:
+    """§6.2's third platform: the RISC-V E-Trace encoder model."""
+
+    def test_active_enable_protocol(self, ledger):
+        from repro.hwtrace.riscv import RiscvTeRegisterFile, TeControlError
+
+        regs = RiscvTeRegisterFile(0, ledger)
+        with pytest.raises(TeControlError, match="teActive"):
+            regs.enable()  # must activate first
+        regs.configure(cr3_match=0x77)
+        regs.enable()
+        assert regs.trace_enabled
+        with pytest.raises(TeControlError):
+            regs.write(0x010, 0x88)  # context write while enabled
+        regs.disable()
+        regs.write(0x010, 0x88)
+        assert regs.cr3_match == 0x88
+
+    def test_branch_maps_densest_encoding(self):
+        from repro.hwtrace.etm import EtmVolumeModel
+        from repro.hwtrace.riscv import RiscvVolumeModel
+        from repro.hwtrace.tracer import VolumeModel
+
+        riscv, etm, ipt = RiscvVolumeModel(), EtmVolumeModel(), VolumeModel()
+        for model_pair in ((riscv, ipt),):
+            dense, sparse = model_pair
+            assert dense.slice_bytes(1_000_000, 0.02) < sparse.slice_bytes(
+                1_000_000, 0.02
+            )
+
+    def test_exist_session_on_riscv(self):
+        from repro.core.config import ExistConfig, TracingRequest
+        from repro.core.facility import ExistFacility
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=6))
+        get_workload("mc").spawn(system, cpuset=[0, 1], seed=6)
+        facility = ExistFacility(system, ExistConfig(), backend="riscv")
+        facility.install()
+        session = facility.begin_tracing(
+            TracingRequest(target="mc", period_ns=100 * MSEC)
+        )
+        system.run_for(150 * MSEC)
+        assert session.stopped
+        assert session.segments
+        assert facility.ledger.count("te_mmio") > 0
+        assert facility.ledger.count("wrmsr") == 0
+
+    def test_all_backends_capture_same_events(self):
+        """The captured symbolic events are backend-independent — only
+        byte volumes differ (encoding density)."""
+        from repro.core.config import ExistConfig, TracingRequest
+        from repro.core.facility import ExistFacility
+
+        captured = {}
+        bytes_captured = {}
+        for backend in ("ipt", "etm", "riscv"):
+            system = KernelSystem(SystemConfig.small_node(8, seed=6))
+            get_workload("ex").spawn(system, cpuset=[0], seed=6)
+            facility = ExistFacility(system, ExistConfig(), backend=backend)
+            facility.install()
+            session = facility.begin_tracing(
+                TracingRequest(target="ex", period_ns=200 * MSEC)
+            )
+            system.run_for(250 * MSEC)
+            captured[backend] = sum(s.captured_events for s in session.segments)
+            bytes_captured[backend] = session.bytes_captured
+        assert captured["ipt"] == captured["etm"] == captured["riscv"]
+        assert bytes_captured["riscv"] < bytes_captured["ipt"]

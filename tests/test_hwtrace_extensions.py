@@ -1,0 +1,176 @@
+"""Tests for the §6.1 hardware-capability extensions and decoder
+robustness: PTWRITE, hot switching, unified buffers, PSB resync."""
+
+import pytest
+
+from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
+from repro.hwtrace.msr import (
+    RTIT_CR3_MATCH,
+    CtlBits,
+    RtitMsrFile,
+    TraceEnabledError,
+)
+from repro.hwtrace.packets import (
+    PacketError,
+    PipPacket,
+    PsbPacket,
+    PtwPacket,
+    TipPacket,
+    TscPacket,
+    encode_packets,
+    parse_stream,
+    parse_stream_resilient,
+)
+from repro.hwtrace.tracer import TraceSegment
+
+
+class TestPtwrite:
+    def test_roundtrip(self):
+        packets = [PtwPacket(0), PtwPacket(0xDEADBEEF), PtwPacket((1 << 64) - 1)]
+        assert parse_stream(encode_packets(packets)) == packets
+
+    def test_size(self):
+        assert len(PtwPacket(42).encode()) == 10
+
+    def test_out_of_range(self):
+        with pytest.raises(PacketError):
+            PtwPacket(1 << 64).encode()
+
+    def test_decoder_collects_ptwrites(self, tiny_binary):
+        stream = encode_packets([
+            PsbPacket(),
+            TscPacket(500),
+            PipPacket(0x1000),
+            PtwPacket(777),
+            PtwPacket(888),
+        ])
+        decoded = SoftwareDecoder({0x1000: tiny_binary}).decode(stream)
+        assert decoded.ptwrites == [(500, 0x1000, 777), (500, 0x1000, 888)]
+
+    def test_truncated_ptwrite_rejected(self):
+        data = PtwPacket(1).encode()[:-3]
+        with pytest.raises(PacketError):
+            parse_stream(data)
+
+
+class TestHotSwitching:
+    def test_default_hardware_forbids_hot_config(self, ledger):
+        msr = RtitMsrFile(0, ledger)
+        msr.configure(CtlBits.BRANCH_EN)
+        msr.enable()
+        with pytest.raises(TraceEnabledError):
+            msr.write(RTIT_CR3_MATCH, 0x1000)
+
+    def test_hot_switching_allows_live_config(self, ledger):
+        msr = RtitMsrFile(0, ledger, hot_switching=True)
+        msr.configure(CtlBits.BRANCH_EN)
+        msr.enable()
+        msr.write(RTIT_CR3_MATCH, 0x1000)  # legal with the what-if hardware
+        assert msr.cr3_match == 0x1000
+        assert msr.trace_enabled
+
+    def test_hot_switching_halves_nht_switch_ops(self):
+        """The §6.1 claim: hot switching lowers conventional control cost."""
+        from repro.experiments.scenarios import run_traced_execution
+        from repro.tracing.nht import NhtScheme
+
+        normal = run_traced_execution(
+            "mc", NhtScheme(), cpuset=[0, 1], seed=5, window_s=0.15
+        )
+        hot = run_traced_execution(
+            "mc", NhtScheme(hot_switching=True), cpuset=[0, 1], seed=5,
+            window_s=0.15,
+        )
+        assert (
+            hot.artifacts.ledger.count("wrmsr")
+            < 0.6 * normal.artifacts.ledger.count("wrmsr")
+        )
+        assert hot.throughput_rps > normal.throughput_rps
+
+
+class TestUnifiedBuffer:
+    def test_unified_plan_shares_one_output(self):
+        from repro.core.config import ExistConfig
+        from repro.core.uma import UsageAwareMemoryAllocator
+        from repro.kernel.system import KernelSystem, SystemConfig
+        from repro.program.workloads import get_workload
+        from repro.util.units import MSEC
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        target = get_workload("Search2").spawn(system, seed=4)
+        system.run_for(30 * MSEC)
+        uma = UsageAwareMemoryAllocator(ExistConfig(unified_buffer=True))
+        plan, outputs = uma.plan_and_allocate(system, target)
+        assert plan.unified
+        unique_outputs = {id(o) for o in outputs.values()}
+        assert len(unique_outputs) == 1
+        shared = next(iter(outputs.values()))
+        assert shared.capacity >= plan.total_bytes * 0.99
+        uma.release(system, plan)
+        assert system.facility_memory_bytes == 0
+
+    def test_per_core_plan_has_distinct_outputs(self):
+        from repro.core.config import ExistConfig
+        from repro.core.uma import UsageAwareMemoryAllocator
+        from repro.kernel.system import KernelSystem, SystemConfig
+        from repro.program.workloads import get_workload
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        target = get_workload("Search1").spawn(system, cpuset=[0, 1, 2, 3], seed=4)
+        uma = UsageAwareMemoryAllocator(ExistConfig())
+        plan, outputs = uma.plan_and_allocate(system, target)
+        assert not plan.unified
+        assert len({id(o) for o in outputs.values()}) == len(outputs)
+
+
+class TestResilientParse:
+    def _clean_stream(self):
+        return encode_packets([
+            PsbPacket(), TscPacket(1), PipPacket(0x1000), TipPacket(0x400000),
+            PsbPacket(), TscPacket(2), PipPacket(0x1000), TipPacket(0x400040),
+        ])
+
+    def test_clean_stream_no_resyncs(self):
+        packets, resyncs = parse_stream_resilient(self._clean_stream())
+        assert resyncs == 0
+        assert len(packets) == 8
+
+    def test_corruption_resyncs_at_next_psb(self):
+        data = bytearray(self._clean_stream())
+        # corrupt one byte inside the first TIP payload's header
+        first_tip = data.index(0x0D)
+        data[first_tip] = 0x01  # invalid header byte
+        packets, resyncs = parse_stream_resilient(bytes(data))
+        assert resyncs == 1
+        # the second PSB-delimited half survives
+        tips = [p for p in packets if isinstance(p, TipPacket)]
+        assert any(t.address == 0x400040 for t in tips)
+
+    def test_prefix_before_corruption_retained(self):
+        data = bytearray(self._clean_stream())
+        second_psb = data.index(bytes([0x02, 0x82]), 16)
+        data[second_psb + 16] = 0x01  # corrupt the TSC header after it
+        packets, resyncs = parse_stream_resilient(bytes(data))
+        # everything before the corruption point is kept
+        tips = [p for p in packets if isinstance(p, TipPacket)]
+        assert any(t.address == 0x400000 for t in tips)
+        assert resyncs >= 1
+
+    def test_garbage_only(self):
+        packets, resyncs = parse_stream_resilient(bytes([0x01] * 64))
+        assert packets == []
+        assert resyncs == 1
+
+    def test_decoder_resilient_mode(self, tiny_path, tiny_binary):
+        segment = TraceSegment(
+            core_id=0, pid=1, tid=2, cr3=0x1000, t_start=0, t_end=1,
+            event_start=0, event_end=40, captured_event_end=40,
+            bytes_offered=1.0, bytes_accepted=1.0, path_model=tiny_path,
+        )
+        data = bytearray(encode_trace([segment]))
+        data[40] = 0x01  # corrupt mid-stream
+        decoder = SoftwareDecoder({0x1000: tiny_binary})
+        with pytest.raises(PacketError):
+            decoder.decode(bytes(data))
+        decoded = decoder.decode(bytes(data), resilient=True)
+        assert decoded.resyncs >= 1

@@ -1,0 +1,71 @@
+"""Tests for the Last Branch Record model (§6.1 IPT-vs-LBR contrast)."""
+
+import pytest
+
+from repro.hwtrace.lbr import BranchPair, LastBranchRecord
+
+
+class TestLbr:
+    def test_depth_validation(self):
+        LastBranchRecord(16)
+        LastBranchRecord(32)
+        with pytest.raises(ValueError):
+            LastBranchRecord(64)
+
+    def test_records_recent_transitions(self, tiny_path):
+        lbr = LastBranchRecord(32)
+        lbr.record_range(tiny_path, 0, 100)
+        snapshot = lbr.snapshot()
+        assert len(snapshot) == 32
+        # the newest entry matches the walk's final transition
+        expected = tiny_path.events(98, 100).tolist()
+        assert snapshot[-1] == BranchPair(expected[0], expected[1])
+
+    def test_stack_capped_at_depth(self, tiny_path):
+        lbr = LastBranchRecord(16)
+        lbr.record_range(tiny_path, 0, 10_000)
+        assert lbr.entries == 16
+        assert lbr.total_recorded == 10_000
+
+    def test_long_range_costs_only_depth(self, tiny_path):
+        """Folding a huge range behaves identically to folding its tail."""
+        big = LastBranchRecord(32)
+        big.record_range(tiny_path, 0, 100_000)
+        tail = LastBranchRecord(32)
+        tail.record_range(tiny_path, 100_000 - 33, 100_000)
+        assert big.snapshot() == tail.snapshot()
+
+    def test_incremental_equals_bulk(self, tiny_path):
+        bulk = LastBranchRecord(32)
+        bulk.record_range(tiny_path, 0, 500)
+        incremental = LastBranchRecord(32)
+        for start in range(0, 500, 50):
+            incremental.record_range(tiny_path, start, start + 50)
+        assert bulk.snapshot() == incremental.snapshot()
+
+    def test_coverage_fraction_is_tiny(self, tiny_path):
+        """The §6.1 point: LBR cannot support tracing coverage."""
+        lbr = LastBranchRecord(32)
+        lbr.record_range(tiny_path, 0, 1_000_000)
+        assert lbr.coverage_fraction() < 1e-4
+
+    def test_empty_and_clear(self, tiny_path):
+        lbr = LastBranchRecord(32)
+        assert lbr.coverage_fraction() == 1.0
+        lbr.record_range(tiny_path, 5, 5)
+        assert lbr.entries == 0
+        lbr.record_range(tiny_path, 0, 50)
+        lbr.clear()
+        assert lbr.entries == 0
+        assert lbr.total_recorded == 0
+
+    def test_consecutive_ranges_transition_continuity(self, tiny_path):
+        """Entries always reflect genuine consecutive walk transitions."""
+        lbr = LastBranchRecord(16)
+        lbr.record_range(tiny_path, 200, 300)
+        snapshot = lbr.snapshot()
+        walk = tiny_path.events(200, 300).tolist()
+        pairs = [
+            BranchPair(a, b) for a, b in zip(walk, walk[1:])
+        ]
+        assert snapshot == pairs[-len(snapshot):]

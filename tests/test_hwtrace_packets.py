@@ -1,0 +1,106 @@
+"""Unit tests for packet encoding and parsing."""
+
+import pytest
+
+from repro.hwtrace.packets import (
+    OvfPacket,
+    PacketError,
+    PipPacket,
+    PsbPacket,
+    TipPacket,
+    TntPacket,
+    TscPacket,
+    encode_packets,
+    parse_stream,
+)
+
+
+class TestEncodingSizes:
+    def test_psb_is_16_bytes(self):
+        assert len(PsbPacket().encode()) == 16
+
+    def test_ovf_is_2_bytes(self):
+        assert len(OvfPacket().encode()) == 2
+
+    def test_pip_is_8_bytes(self):
+        assert len(PipPacket(0x1234000).encode()) == 8
+
+    def test_tsc_is_8_bytes(self):
+        assert len(TscPacket(123456789).encode()) == 8
+
+    def test_tip_is_7_bytes(self):
+        assert len(TipPacket(0x400123).encode()) == 7
+
+    def test_tnt_is_1_byte(self):
+        assert len(TntPacket((True, False, True)).encode()) == 1
+
+
+class TestRoundTrip:
+    def test_full_stream_roundtrip(self):
+        packets = [
+            PsbPacket(),
+            TscPacket(1_000_000),
+            PipPacket(0x7700_0000),
+            TntPacket((True, False, True, True)),
+            TipPacket(0x401000),
+            TntPacket((False,)),
+            TipPacket(0x402040),
+            OvfPacket(),
+        ]
+        parsed = parse_stream(encode_packets(packets))
+        assert parsed == packets
+
+    def test_tnt_bit_patterns(self):
+        for bits in [(True,), (False,), (True, False), (False,) * 6, (True,) * 6]:
+            packet = TntPacket(tuple(bits))
+            (parsed,) = parse_stream(packet.encode())
+            assert parsed.bits == tuple(bits)
+
+    def test_tip_address_preserved(self):
+        for address in (0, 1, 0x400000, (1 << 48) - 1):
+            (parsed,) = parse_stream(TipPacket(address).encode())
+            assert parsed.address == address
+
+    def test_tsc_timestamp_preserved(self):
+        (parsed,) = parse_stream(TscPacket((1 << 56) - 1).encode())
+        assert parsed.timestamp == (1 << 56) - 1
+
+    def test_empty_stream(self):
+        assert parse_stream(b"") == []
+
+
+class TestValidation:
+    def test_tip_address_range(self):
+        with pytest.raises(PacketError):
+            TipPacket(1 << 48).encode()
+
+    def test_pip_cr3_range(self):
+        with pytest.raises(PacketError):
+            PipPacket(1 << 48).encode()
+
+    def test_tnt_bit_count(self):
+        with pytest.raises(PacketError):
+            TntPacket(()).encode()
+        with pytest.raises(PacketError):
+            TntPacket((True,) * 7).encode()
+
+    def test_truncated_tip_rejected(self):
+        data = TipPacket(0x400000).encode()[:-2]
+        with pytest.raises(PacketError):
+            parse_stream(data)
+
+    def test_truncated_psb_rejected(self):
+        with pytest.raises(PacketError):
+            parse_stream(PsbPacket().encode()[:7])
+
+    def test_unknown_header_rejected(self):
+        with pytest.raises(PacketError):
+            parse_stream(bytes([0x01]))  # odd, not TSC/TIP
+
+    def test_unknown_extended_opcode_rejected(self):
+        with pytest.raises(PacketError):
+            parse_stream(bytes([0x02, 0x99]))
+
+    def test_zero_byte_rejected(self):
+        with pytest.raises(PacketError):
+            parse_stream(bytes([0x00]))

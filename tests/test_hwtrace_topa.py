@@ -1,0 +1,89 @@
+"""Unit tests for ToPA output buffers."""
+
+import pytest
+
+from repro.hwtrace.topa import OutputMode, ToPAEntry, ToPAOutput
+from repro.util.units import MIB
+
+
+class TestEntries:
+    def test_page_multiple_required(self):
+        with pytest.raises(ValueError):
+            ToPAEntry(base=0, size=1000)
+        with pytest.raises(ValueError):
+            ToPAEntry(base=0, size=0)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            ToPAOutput([], OutputMode.STOP_ON_FULL)
+
+    def test_single_region_rounds_to_pages(self):
+        output = ToPAOutput.single_region(10_000)
+        assert output.capacity == 8192
+
+    def test_multi_region_capacity(self):
+        output = ToPAOutput(
+            [ToPAEntry(0, 4096), ToPAEntry(8192, 8192)], OutputMode.STOP_ON_FULL
+        )
+        assert output.capacity == 12288
+
+
+class TestStopOnFull:
+    """Compulsory tracing: EXIST's §3.3 choice ①."""
+
+    def test_accepts_until_full(self):
+        output = ToPAOutput.single_region(8192)
+        assert output.write(5000) == 5000
+        assert output.write(3000) == 3000
+        assert not output.stopped
+
+    def test_partial_accept_then_stop(self):
+        output = ToPAOutput.single_region(8192)
+        accepted = output.write(10_000)
+        assert accepted == 8192
+        assert output.stopped
+        assert output.overflowed
+
+    def test_stopped_rejects_everything(self):
+        output = ToPAOutput.single_region(4096)
+        output.write(5000)
+        assert output.write(100) == 0
+        assert output.total_offered == 5100
+        assert output.written == 4096
+
+    def test_negative_write_rejected(self):
+        output = ToPAOutput.single_region(4096)
+        with pytest.raises(ValueError):
+            output.write(-1)
+
+    def test_free_bytes(self):
+        output = ToPAOutput.single_region(8192)
+        output.write(1000)
+        assert output.free_bytes == 8192 - 1000
+
+
+class TestRing:
+    """Conventional circular buffer (REPT-style / perf)."""
+
+    def test_accepts_everything(self):
+        output = ToPAOutput.single_region(4096, mode=OutputMode.RING)
+        assert output.write(10_000) == 10_000
+        assert not output.stopped
+
+    def test_wraps_and_tracks_overwritten(self):
+        output = ToPAOutput.single_region(4096, mode=OutputMode.RING)
+        output.write(3000)
+        output.write(3000)
+        assert output.written == 4096
+        assert output.wrapped_bytes == 6000 - 4096
+        assert output.total_offered == 6000
+
+
+class TestReset:
+    def test_reset_rearms(self):
+        output = ToPAOutput.single_region(4096)
+        output.write(9999)
+        output.reset()
+        assert not output.stopped
+        assert output.written == 0
+        assert output.write(100) == 100

@@ -1,0 +1,120 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.kernel.events import Simulator
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, lambda: fired.append(30))
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(20, lambda: fired.append(20))
+        sim.run_until_idle()
+        assert fired == [10, 20, 30]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for index in range(5):
+            sim.schedule(100, lambda i=index: fired.append(i))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule(5, lambda: None)
+
+    def test_schedule_after_negative_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_after(5, lambda: fired.append("second"))
+
+        sim.schedule(10, first)
+        sim.run_until_idle()
+        assert fired == ["first", "second"]
+        assert sim.now == 15
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.run_until_idle()
+        event.cancel()  # must not raise
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(5, lambda: None)
+        sim.schedule(10, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 10
+
+
+class TestRunUntil:
+    def test_advances_clock_to_deadline(self):
+        sim = Simulator()
+        sim.run_until(1000)
+        assert sim.now == 1000
+
+    def test_does_not_fire_beyond_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(500, lambda: fired.append("early"))
+        sim.schedule(1500, lambda: fired.append("late"))
+        sim.run_until(1000)
+        assert fired == ["early"]
+        assert sim.now == 1000
+        sim.run_until(2000)
+        assert fired == ["early", "late"]
+
+    def test_fires_events_exactly_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1000, lambda: fired.append("edge"))
+        sim.run_until(1000)
+        assert fired == ["edge"]
+
+    def test_returns_fired_count(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.schedule(t, lambda: None)
+        assert sim.run_until(10) == 3
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule_after(0, rearm)
+
+        sim.schedule(0, rearm)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_fired == 2

@@ -1,0 +1,126 @@
+"""Robustness and edge-case tests: scheduler corners, failure injection.
+
+The paper's §3.2 stability argument — frequent unsafe MSR modification
+risks fail-stop servers — plus the scheduler paths that only fire under
+contention (migrations, wake placement, oversubscription).
+"""
+
+import pytest
+
+from repro.core.config import ExistConfig, TracingRequest
+from repro.core.facility import ExistFacility
+from repro.hwtrace.msr import RTIT_CR3_MATCH, TraceEnabledError
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.kernel.task import ThreadState
+from repro.program.workloads import get_workload, variant
+from repro.util.units import MSEC, SEC
+
+
+class TestSchedulerCorners:
+    def test_heavy_oversubscription_makes_progress(self):
+        """16 runnable threads on 2 cores: everyone finishes."""
+        system = KernelSystem(SystemConfig.small_node(4, seed=2))
+        crowd = variant(
+            get_workload("ex"), name="crowd", n_threads=16, work_seconds=0.05
+        )
+        process = crowd.spawn(system, cpuset=[0, 1], seed=2)
+        assert system.run_until_done([process], deadline_ns=10 * SEC)
+        assert all(t.state is ThreadState.DONE for t in process.threads)
+
+    def test_wake_prefers_last_core(self):
+        """A lone blocking server thread keeps returning to its core."""
+        system = KernelSystem(SystemConfig.small_node(8, seed=2))
+        process = variant(get_workload("mc"), n_threads=1).spawn(
+            system, seed=2
+        )
+        system.run_for(200 * MSEC)
+        thread = process.threads[0]
+        assert thread.wakeups > 100
+        assert thread.migrations <= 1  # placed once, then sticky
+
+    def test_migrations_happen_under_imbalance(self):
+        """Threads released onto a busy core migrate toward idle ones."""
+        system = KernelSystem(SystemConfig.small_node(8, seed=2))
+        process = variant(
+            get_workload("xz"), name="wide", n_threads=6, work_seconds=0.1
+        ).spawn(system, seed=2)  # no cpuset: free placement
+        system.run_until_done([process], deadline_ns=10 * SEC)
+        cores_used = {t.last_core for t in process.threads}
+        assert len(cores_used) >= 4  # spread out, not piled up
+
+    def test_mixed_blocking_and_compute_coexist(self):
+        system = KernelSystem(SystemConfig.small_node(4, seed=2))
+        compute = variant(get_workload("ex"), work_seconds=0.2).spawn(
+            system, cpuset=[0], seed=2
+        )
+        server = variant(get_workload("mc"), n_threads=1).spawn(
+            system, cpuset=[0], seed=3
+        )
+        assert system.run_until_done([compute], deadline_ns=10 * SEC)
+        assert system.process_requests(server) > 100
+
+
+class TestMsrSafetyInjection:
+    """A buggy controller that writes MSRs while tracing is enabled gets
+    an exception (the model of the paper's fail-stop risk), and EXIST's
+    own control path never trips it."""
+
+    def test_buggy_controller_trips_hardware_rule(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        get_workload("mc").spawn(system, cpuset=[0, 1], seed=4)
+        facility = ExistFacility(system, ExistConfig())
+        facility.install()
+        facility.begin_tracing(TracingRequest(target="mc", period_ns=200 * MSEC))
+        system.run_for(50 * MSEC)
+        enabled = [
+            t for t in facility.tracers.values() if t.enabled
+        ]
+        assert enabled, "session should have enabled at least one tracer"
+        with pytest.raises(TraceEnabledError):
+            enabled[0].msr.write(RTIT_CR3_MATCH, 0xBAD)
+
+    def test_exist_never_writes_while_enabled(self):
+        """Many back-to-back sessions: no TraceEnabledError ever raised
+        from EXIST's own control path."""
+        from repro.core.exist import ExistScheme
+
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        target = get_workload("mc").spawn(system, cpuset=[0, 1], seed=4)
+        scheme = ExistScheme(period_ns=100 * MSEC, continuous=True)
+        scheme.install(system, [target])
+        system.run_for(650 * MSEC)  # ~6 sessions (period floor is 100ms)
+        scheme.finish_sessions()
+        assert scheme.sessions_completed >= 5
+
+    def test_hrt_bounds_tracing_even_if_callback_lost(self):
+        """Losing the archive callback must not leave tracers enabled —
+        the HRT disables them regardless (§3.2 robustness)."""
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        get_workload("mc").spawn(system, cpuset=[0, 1], seed=4)
+        facility = ExistFacility(system, ExistConfig())
+        facility.install()
+        session = facility.begin_tracing(
+            TracingRequest(target="mc", period_ns=100 * MSEC),
+            on_stop=lambda completed: None,  # callback does nothing
+        )
+        system.run_for(200 * MSEC)
+        assert session.stopped
+        assert all(not t.enabled for t in facility.tracers.values())
+
+
+class TestFacilityMemoryPressure:
+    def test_session_rejected_when_node_memory_exhausted(self):
+        """UMA refuses (rather than overcommits) when the facility budget
+        is spent — the node never pages because of tracing."""
+        system = KernelSystem(SystemConfig.small_node(8, seed=4))
+        get_workload("mc").spawn(system, cpuset=[0, 1], seed=4)
+        get_workload("ng").spawn(system, cpuset=[2, 3], seed=5)
+        config = ExistConfig(
+            node_budget_bytes=64 * 1024 * 1024,
+            session_budget_bytes=64 * 1024 * 1024,
+        )
+        facility = ExistFacility(system, config)
+        facility.install()
+        facility.begin_tracing(TracingRequest(target="mc", period_ns=1 * SEC))
+        with pytest.raises(MemoryError):
+            facility.begin_tracing(TracingRequest(target="ng", period_ns=1 * SEC))

@@ -1,0 +1,41 @@
+"""Unit tests for the syscall table."""
+
+from repro.kernel.syscalls import SyscallSpec, SyscallTable
+
+
+class TestSyscallTable:
+    def test_defaults_present(self):
+        table = SyscallTable()
+        for name in ("read", "write", "recvfrom", "recv_ready", "file_write"):
+            assert table.get(name).name == name
+
+    def test_blocking_classification(self):
+        table = SyscallTable()
+        assert table.get("fsync").blocking
+        assert table.get("nanosleep").blocking
+        assert not table.get("write").blocking
+        assert not table.get("getpid").blocking
+
+    def test_unknown_name_gets_generic_spec(self):
+        table = SyscallTable()
+        spec = table.get("totally_new_syscall")
+        assert spec.kernel_ns > 0
+        assert not spec.blocking
+        # memoized after first lookup
+        assert table.get("totally_new_syscall") is spec
+
+    def test_register_overrides(self):
+        table = SyscallTable()
+        table.register(SyscallSpec("read", kernel_ns=123))
+        assert table.get("read").kernel_ns == 123
+
+    def test_names_listing(self):
+        table = SyscallTable()
+        assert "fsync" in table.names()
+
+    def test_saturated_recv_blocks_briefly(self):
+        table = SyscallTable()
+        ready = table.get("recv_ready")
+        idle = table.get("recvfrom")
+        assert ready.blocking and idle.blocking
+        assert ready.block_ns < idle.block_ns

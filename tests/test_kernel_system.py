@@ -1,0 +1,84 @@
+"""Unit tests for the assembled kernel system."""
+
+import pytest
+
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.util.units import MIB, MSEC, SEC
+
+
+class TestSystemConfig:
+    def test_presets(self):
+        ice = SystemConfig.icelake_node()
+        assert ice.sockets * ice.cores_per_socket * ice.threads_per_core == 128
+        sky = SystemConfig.skylake_node()
+        assert sky.sockets * sky.cores_per_socket * sky.threads_per_core == 96
+
+    def test_small_node_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig.small_node(7)
+
+    def test_small_node_core_count(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        assert len(system.topology) == 8
+
+
+class TestMeasurement:
+    def test_compute_run_and_summary(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=1))
+        process = get_workload("ex").spawn(system, cpuset=[0])
+        assert system.run_until_done([process], deadline_ns=5 * SEC)
+        summary = system.summary()
+        assert summary.completion_ns["ex"] >= int(0.99 * SEC)
+        assert summary.cpi["ex"] > 0
+        assert 0 < summary.utilization <= 1
+
+    def test_run_until_done_deadline_miss(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=1))
+        process = get_workload("ex").spawn(system, cpuset=[0])
+        assert not system.run_until_done([process], deadline_ns=10 * MSEC)
+
+    def test_window_measurement_on_server(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=1))
+        process = get_workload("mc").spawn(system, cpuset=[0, 1])
+        delta = system.measure_window(100 * MSEC, warmup_ns=50 * MSEC)
+        assert delta.window_ns == 100 * MSEC
+        assert delta.requests[process.pid] > 0
+        assert delta.throughput_rps > 0
+        assert delta.syscalls > 0
+        assert delta.context_switches > 0
+
+    def test_cpi_reflects_nominal_rate(self):
+        system = KernelSystem(SystemConfig.small_node(8, seed=1))
+        workload = get_workload("ex")  # ips = 3.4
+        process = workload.spawn(system, cpuset=[0])
+        system.run_until_done([process], deadline_ns=5 * SEC)
+        cpi = system.process_cpi(process)
+        expected = system.config.cpu_freq_ghz / workload.nominal_ips
+        assert cpi == pytest.approx(expected, rel=0.05)
+
+    def test_process_by_name(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        process = get_workload("ex").spawn(system)
+        assert system.process_by_name("ex") is process
+        with pytest.raises(KeyError):
+            system.process_by_name("nope")
+
+
+class TestFacilityMemoryLedger:
+    def test_reserve_and_release(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        system.reserve_facility_memory(100 * MIB)
+        assert system.facility_memory_bytes == 100 * MIB
+        system.release_facility_memory(40 * MIB)
+        assert system.facility_memory_bytes == 60 * MIB
+
+    def test_over_reservation_raises(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        with pytest.raises(MemoryError):
+            system.reserve_facility_memory(system.memory_bytes + 1)
+
+    def test_release_never_negative(self):
+        system = KernelSystem(SystemConfig.small_node(8))
+        system.release_facility_memory(5 * MIB)
+        assert system.facility_memory_bytes == 0

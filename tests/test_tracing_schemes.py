@@ -1,0 +1,157 @@
+"""Tests for the baseline tracing schemes (Table 2)."""
+
+import pytest
+
+from repro.kernel.system import KernelSystem, SystemConfig
+from repro.program.workloads import get_workload
+from repro.tracing.ebpf import EbpfScheme
+from repro.tracing.nht import NhtScheme
+from repro.tracing.oracle import OracleScheme
+from repro.tracing.stasam import StaSamScheme
+from repro.util.units import MSEC, SEC
+
+
+def fresh_run(scheme, workload="ex", window_ms=None, seed=5):
+    """Spawn a workload, install a scheme, run, return (system, process, scheme)."""
+    system = KernelSystem(SystemConfig.small_node(8, seed=seed))
+    process = get_workload(workload).spawn(system, cpuset=[0, 1, 2, 3], seed=seed)
+    scheme.install(system, [process])
+    if window_ms is None:
+        system.run_until_done([process], deadline_ns=10 * SEC)
+    else:
+        system.run_for(window_ms * MSEC)
+    return system, process
+
+
+class TestOracle:
+    def test_no_overhead_no_artifacts(self):
+        scheme = OracleScheme()
+        system, process = fresh_run(scheme)
+        artifacts = scheme.artifacts()
+        assert artifacts.space_bytes == 0
+        assert artifacts.segments == []
+        assert process.threads[0].tracing_overhead_ns == 0
+
+    def test_double_install_rejected(self):
+        scheme = OracleScheme()
+        fresh_run(scheme)
+        system = KernelSystem(SystemConfig.small_node(8))
+        with pytest.raises(RuntimeError):
+            scheme.install(system, [])
+
+
+class TestStaSam:
+    def test_collects_sample_histogram(self):
+        scheme = StaSamScheme()
+        fresh_run(scheme)
+        artifacts = scheme.artifacts()
+        assert artifacts.sample_histogram
+        assert scheme.samples_taken > 1000  # ~4k/s over ~1s
+
+    def test_sample_rate_tracks_frequency(self):
+        low = StaSamScheme(frequency_hz=500)
+        fresh_run(low)
+        high = StaSamScheme(frequency_hz=4000)
+        fresh_run(high)
+        assert high.samples_taken > 4 * low.samples_taken
+
+    def test_space_proportional_to_samples(self):
+        scheme = StaSamScheme()
+        fresh_run(scheme)
+        artifacts = scheme.artifacts()
+        assert artifacts.space_bytes == pytest.approx(scheme.samples_taken * 56.0)
+
+    def test_histogram_covers_hot_functions(self):
+        scheme = StaSamScheme()
+        system, process = fresh_run(scheme)
+        # statistical profile should see a decent number of functions
+        assert len(scheme.artifacts().sample_histogram) > 5
+
+
+class TestEbpf:
+    def test_logs_syscalls(self):
+        scheme = EbpfScheme()
+        system, process = fresh_run(scheme, workload="mc", window_ms=100)
+        artifacts = scheme.artifacts()
+        assert scheme.events_seen > 100
+        assert artifacts.syscall_log
+        timestamp, pid, tid, name = artifacts.syscall_log[0]
+        assert pid == process.pid
+        assert name in ("recv_ready", "sendto")
+
+    def test_probe_cost_charged(self):
+        scheme = EbpfScheme()
+        system, process = fresh_run(scheme, workload="mc", window_ms=100)
+        assert scheme.ledger.count("ebpf_probe") == scheme.events_seen
+        assert any(t.tracing_overhead_ns > 0 for t in process.threads)
+
+    def test_uninstall_detaches_probe(self):
+        scheme = EbpfScheme()
+        system, _ = fresh_run(scheme, workload="mc", window_ms=50)
+        seen = scheme.events_seen
+        scheme.uninstall()
+        system.run_for(50 * MSEC)
+        assert scheme.events_seen == seen
+
+    def test_space_is_tiny(self):
+        """Table 4: eBPF records only sys_enter events (~0.1-0.2 MB)."""
+        scheme = EbpfScheme()
+        fresh_run(scheme, workload="ex")
+        assert scheme.artifacts().space_bytes < 1 * 1024 * 1024
+
+
+class TestNht:
+    def test_full_coverage_of_target(self):
+        scheme = NhtScheme()
+        system, process = fresh_run(scheme)
+        artifacts = scheme.artifacts()
+        assert artifacts.segments
+        captured = sum(s.captured_events for s in artifacts.segments)
+        total_events = sum(
+            t.engine.event_index for t in process.threads
+        )
+        # ring + drain: essentially everything captured
+        assert captured >= 0.99 * total_events
+
+    def test_msr_ops_scale_with_switches(self):
+        scheme = NhtScheme()
+        system, process = fresh_run(scheme, workload="mc", window_ms=100)
+        switches = system.scheduler.total_context_switches
+        # every target sched-in costs 3 wrmsr, sched-out costs 1
+        assert scheme.ledger.count("wrmsr") > switches  # >1 per switch
+
+    def test_does_not_trace_colocated_processes(self):
+        scheme = NhtScheme()
+        system = KernelSystem(SystemConfig.small_node(8, seed=5))
+        target = get_workload("ex").spawn(system, cpuset=[0, 1], seed=5)
+        neighbour = get_workload("de").spawn(system, cpuset=[0, 1], seed=6)
+        scheme.install(system, [target])
+        system.run_until_done([target, neighbour], deadline_ns=20 * SEC)
+        pids = {s.pid for s in scheme.artifacts().segments}
+        assert pids == {target.pid}
+
+    def test_space_tracks_trace_volume(self):
+        scheme = NhtScheme()
+        system, process = fresh_run(scheme)
+        artifacts = scheme.artifacts()
+        # ~1s of ex at ~150 MB/s: tens to ~200 MB
+        assert 20e6 < artifacts.space_bytes < 500e6
+
+    def test_uninstall_disables_tracers(self):
+        scheme = NhtScheme()
+        system, _ = fresh_run(scheme, workload="mc", window_ms=50)
+        scheme.uninstall()
+        assert all(core.tracer is None for core in system.topology.cores)
+
+
+class TestOverheadOrdering:
+    """The Figure 13 headline at unit-test scale: EXIST < StaSam/eBPF < NHT."""
+
+    def test_nht_slower_than_oracle(self):
+        oracle = OracleScheme()
+        fresh_run(oracle, workload="de", seed=9)
+        _, p_oracle = fresh_run(OracleScheme(), workload="de", seed=9)
+        _, p_nht = fresh_run(NhtScheme(), workload="de", seed=9)
+        t_oracle = max(t.done_at for t in p_oracle.threads)
+        t_nht = max(t.done_at for t in p_nht.threads)
+        assert t_nht > t_oracle * 1.02
