@@ -14,6 +14,15 @@ from __future__ import annotations
 
 import sys
 
+import pytest
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every benchmark module is heavyweight: mark them all ``slow`` so
+    the CI quick lane (``-m "not slow"``) skips them wholesale."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
 
 def emit(text: str) -> None:
     """Print a figure/table body so it survives pytest capture (-s not

@@ -1,0 +1,119 @@
+"""Codec throughput microbenchmark: object path vs. columnar path.
+
+Encodes a ~10 MB synthetic packet stream and decodes it with both the
+per-packet object pipeline (``encode_trace_objects`` /
+``SoftwareDecoder.decode_objects``) and the vectorized columnar pipeline
+(``encode_trace`` / ``SoftwareDecoder.decode``), then writes MB/s for
+each to ``BENCH_codec.json`` at the repository root — the perf
+trajectory other PRs regress against.  The vectorized decode must beat
+the object decode by >= 10x on this stream.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.hwtrace.decoder import (
+    SoftwareDecoder,
+    encode_trace,
+    encode_trace_objects,
+)
+from repro.hwtrace.tracer import TraceSegment
+from repro.program.binary import FunctionCategory
+from repro.program.generator import BinaryShape, generate_binary
+from repro.program.path import PathModel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGET_STREAM_BYTES = 10 * 1000 * 1000
+EVENTS_PER_SEGMENT = 4096
+MIN_SPEEDUP = 10.0
+
+
+def _build_segments():
+    shape = BinaryShape(
+        n_functions=16,
+        blocks_per_function_mean=6.0,
+        category_weights={FunctionCategory.APP: 1.0},
+    )
+    binary = generate_binary("codecbench", shape, seed=3)
+    path = PathModel(binary, seed=3, length=1 << 16, stride=1024)
+    bytes_per_segment = 32 + 8 * EVENTS_PER_SEGMENT
+    n_segments = TARGET_STREAM_BYTES // bytes_per_segment + 1
+    segments = [
+        TraceSegment(
+            core_id=0, pid=1, tid=2, cr3=0x1000,
+            t_start=i * 1000, t_end=i * 1000 + 999,
+            event_start=i * EVENTS_PER_SEGMENT,
+            event_end=(i + 1) * EVENTS_PER_SEGMENT,
+            captured_event_end=(i + 1) * EVENTS_PER_SEGMENT,
+            bytes_offered=1.0, bytes_accepted=1.0,
+            path_model=path,
+        )
+        for i in range(n_segments)
+    ]
+    return binary, segments
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_codec_throughput():
+    binary, segments = _build_segments()
+
+    stream, t_encode_columnar = _timed(lambda: encode_trace(segments))
+    stream_objects, t_encode_objects = _timed(
+        lambda: encode_trace_objects(segments)
+    )
+    assert stream == stream_objects, "encoders diverged byte-wise"
+    megabytes = len(stream) / 1e6
+    assert megabytes >= 9.5, f"stream too small: {megabytes:.1f} MB"
+
+    decoder = SoftwareDecoder({0x1000: binary})
+    decoder.decode(stream)  # warm numpy / allocator
+    decoded, t_decode_columnar = _timed(lambda: decoder.decode(stream))
+    reference, t_decode_objects = _timed(
+        lambda: decoder.decode_objects(stream)
+    )
+    assert len(decoded) == len(reference)
+    assert decoded.block_sequence()[:1000] == reference.block_sequence()[:1000]
+
+    report = {
+        "stream_mb": round(megabytes, 3),
+        "records": len(decoded),
+        "encode_object_mb_s": round(megabytes / t_encode_objects, 2),
+        "encode_columnar_mb_s": round(megabytes / t_encode_columnar, 2),
+        "encode_speedup": round(t_encode_objects / t_encode_columnar, 2),
+        "decode_object_mb_s": round(megabytes / t_decode_objects, 2),
+        "decode_columnar_mb_s": round(megabytes / t_decode_columnar, 2),
+        "decode_speedup": round(t_decode_objects / t_decode_columnar, 2),
+    }
+    (REPO_ROOT / "BENCH_codec.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    emit("Codec throughput (10 MB synthetic stream)")
+    emit(f"{'path':<20}{'encode MB/s':>14}{'decode MB/s':>14}")
+    emit(
+        f"{'object':<20}{report['encode_object_mb_s']:>14.1f}"
+        f"{report['decode_object_mb_s']:>14.1f}"
+    )
+    emit(
+        f"{'columnar':<20}{report['encode_columnar_mb_s']:>14.1f}"
+        f"{report['decode_columnar_mb_s']:>14.1f}"
+    )
+    emit(
+        f"speedup: encode {report['encode_speedup']:.1f}x, "
+        f"decode {report['decode_speedup']:.1f}x"
+    )
+
+    assert report["decode_speedup"] >= MIN_SPEEDUP, (
+        f"columnar decode only {report['decode_speedup']:.1f}x faster; "
+        f"need >= {MIN_SPEEDUP:.0f}x"
+    )

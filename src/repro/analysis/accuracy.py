@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.rco import (
     Interval,
     interval_intersection,
@@ -76,15 +78,35 @@ def function_histogram_from_segments(
     tests).  Function ids are namespaced per binary via the segment's
     path model, so only aggregate same-application segments.
     """
-    histogram: Dict[int, float] = defaultdict(float)
+    # accumulate per-block visit counts per binary first (cheap integer
+    # adds), then collapse to function mass with one weighted bincount
+    # per binary — no per-function dict updates in the segment loop
+    visit_totals: Dict[int, np.ndarray] = {}
+    binaries: Dict[int, object] = {}
     for segment in segments:
         if segment.captured_event_end <= segment.event_start:
             continue
-        partial = segment.path_model.function_histogram(
+        path_model = segment.path_model
+        counts = path_model.visit_counts(
             segment.event_start, segment.captured_event_end
         )
-        for fid, weight in partial.items():
-            histogram[fid] += weight
+        key = id(path_model.binary)
+        if key in visit_totals:
+            visit_totals[key] += counts
+        else:
+            visit_totals[key] = counts.copy()
+            binaries[key] = path_model.binary
+    histogram: Dict[int, float] = defaultdict(float)
+    for key, counts in visit_totals.items():
+        binary = binaries[key]
+        weighted = counts * binary.block_instructions
+        function_mass = np.bincount(
+            binary.block_function_ids,
+            weights=weighted.astype(np.float64),
+            minlength=binary.n_functions,
+        )
+        for fid in np.flatnonzero(function_mass):
+            histogram[int(fid)] += float(function_mass[fid])
     return dict(histogram)
 
 

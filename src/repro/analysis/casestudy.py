@@ -19,8 +19,21 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.hwtrace.decoder import DecodedTrace
 from repro.program.binary import ACCESS_WIDTHS, Binary, FunctionCategory
+
+
+def _function_instruction_mass(decoded: DecodedTrace, binary: Binary) -> np.ndarray:
+    """Executed-instruction mass per function id, one weighted bincount."""
+    if len(decoded) == 0:
+        return np.zeros(binary.n_functions, dtype=np.float64)
+    return np.bincount(
+        decoded.function_ids,
+        weights=binary.block_instructions[decoded.block_ids].astype(np.float64),
+        minlength=binary.n_functions,
+    )
 
 
 @dataclass
@@ -48,11 +61,11 @@ def function_category_report(
     app: str, decoded: DecodedTrace, binary: Binary
 ) -> CategoryReport:
     """Aggregate a decoded trace into Figure 21's category shares."""
+    function_mass = _function_instruction_mass(decoded, binary)
     weights: Dict[FunctionCategory, float] = defaultdict(float)
-    for record in decoded.records:
-        block = binary.blocks[record.block_id]
-        category = binary.functions[block.function_id].category
-        weights[category] += block.n_instructions
+    for function_id in np.flatnonzero(function_mass):
+        category = binary.functions[int(function_id)].category
+        weights[category] += float(function_mass[function_id])
     total = sum(weights.values())
     report = CategoryReport(app=app)
     if total <= 0:
@@ -94,15 +107,19 @@ def memory_width_report(
     app: str, decoded: DecodedTrace, binary: Binary
 ) -> WidthReport:
     """Weight each function's access-width mix by its executed instructions."""
+    function_mass = _function_instruction_mass(decoded, binary)
     accesses: Dict[str, Dict[int, float]] = {
         "read_only": defaultdict(float),
         "write_only": defaultdict(float),
         "read_write": defaultdict(float),
     }
-    for record in decoded.records:
-        block = binary.blocks[record.block_id]
-        function = binary.functions[block.function_id]
-        volume = block.n_instructions * function.memory.accesses_per_instruction
+    # per-record work collapses to one pass over the (few) functions with
+    # nonzero executed-instruction mass
+    for function_id in np.flatnonzero(function_mass):
+        function = binary.functions[int(function_id)]
+        volume = float(function_mass[function_id]) * (
+            function.memory.accesses_per_instruction
+        )
         for class_name, mix in (
             ("read_only", function.memory.read_only),
             ("write_only", function.memory.write_only),

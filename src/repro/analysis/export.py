@@ -16,8 +16,9 @@ on-call engineers (§3.1).  Two concrete renderings:
 from __future__ import annotations
 
 import json
-from collections import defaultdict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.hwtrace.decoder import DecodedTrace
 from repro.program.binary import Binary
@@ -47,18 +48,26 @@ def to_chrome_trace(
     ]
 
     # group records into per-timestamp function runs; each segment's
-    # records share one TSC timestamp, so runs within it are ordered
+    # records share one TSC timestamp, so runs within it are ordered.
+    # Run boundaries fall out of one vectorized change-point diff over
+    # the (timestamp, function) columns.
+    n_records = len(decoded)
     runs: List[Tuple[int, int, int]] = []  # (timestamp, function_id, count)
-    for record in decoded.records:
-        if (
-            runs
-            and runs[-1][0] == record.timestamp
-            and runs[-1][1] == record.function_id
-        ):
-            timestamp, function_id, count = runs[-1]
-            runs[-1] = (timestamp, function_id, count + 1)
-        else:
-            runs.append((record.timestamp, record.function_id, 1))
+    if n_records:
+        boundary = np.empty(n_records, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (np.diff(decoded.timestamps) != 0) | (
+            np.diff(decoded.function_ids) != 0
+        )
+        starts = np.flatnonzero(boundary)
+        counts = np.diff(np.append(starts, n_records))
+        runs = list(
+            zip(
+                decoded.timestamps[starts].tolist(),
+                decoded.function_ids[starts].tolist(),
+                counts.tolist(),
+            )
+        )
 
     for timestamp, function_id, count in runs:
         events.append({
@@ -99,12 +108,21 @@ def to_folded_stacks(
     enough for ``flamegraph.pl`` to draw the profile the paper's Figure 21
     summarizes.
     """
-    weights: Dict[int, float] = defaultdict(float)
-    for record in decoded.records:
-        block = binary.blocks[record.block_id]
-        weights[record.function_id] += (
-            block.n_instructions if weight_by_instructions else 1
+    if weight_by_instructions:
+        per_record = binary.block_instructions[decoded.block_ids].astype(
+            np.float64
         )
+    else:
+        per_record = np.ones(len(decoded), dtype=np.float64)
+    function_mass = np.bincount(
+        decoded.function_ids,
+        weights=per_record,
+        minlength=binary.n_functions,
+    )
+    weights = {
+        int(fid): float(function_mass[fid])
+        for fid in np.flatnonzero(function_mass)
+    }
     lines = []
     for function_id in sorted(weights, key=lambda f: -weights[f]):
         name = binary.functions[function_id].name.replace(";", "_")
@@ -123,14 +141,18 @@ def to_perf_script(
 
         traced-app  1 [000] 12.345678:  branches:  401000 app::func_3
     """
+    end = len(decoded) if limit is None else min(limit, len(decoded))
+    addresses = binary.block_addresses[decoded.block_ids[:end]]
     lines = []
-    records = decoded.records if limit is None else decoded.records[:limit]
-    for record in records:
-        seconds = record.timestamp / 1e9
-        block = binary.blocks[record.block_id]
-        name = binary.functions[record.function_id].name
+    for timestamp, address, function_id in zip(
+        decoded.timestamps[:end].tolist(),
+        addresses.tolist(),
+        decoded.function_ids[:end].tolist(),
+    ):
+        seconds = timestamp / 1e9
+        name = binary.functions[function_id].name
         lines.append(
             f"{comm:>16s} {pid:6d} [000] {seconds:12.6f}: "
-            f"branches: {block.address:12x} {name}"
+            f"branches: {address:12x} {name}"
         )
     return "\n".join(lines) + ("\n" if lines else "")

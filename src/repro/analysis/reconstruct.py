@@ -66,11 +66,19 @@ class ReconstructionResult:
 def reconstruct(
     segments: Sequence[TraceSegment],
     processes: Sequence[Process],
+    resilient: bool = False,
 ) -> ReconstructionResult:
-    """Serialize ``segments`` and decode them against process binaries."""
+    """Serialize ``segments`` and decode them against process binaries.
+
+    Both directions run the columnar fast path: the encoder assembles
+    each segment's event records from numpy arrays and the decoder scans
+    the stream vectorized into a structure-of-arrays
+    :class:`DecodedTrace`.  ``resilient`` enables PSB resynchronization
+    (the production decoder's posture towards damaged uploads).
+    """
     stream = encode_trace(list(segments))
     decoder = SoftwareDecoder.for_processes(processes)
-    decoded = decoder.decode(stream)
+    decoded = decoder.decode(stream, resilient=resilient)
     return ReconstructionResult(
         decoded=decoded,
         stream_bytes=len(stream),

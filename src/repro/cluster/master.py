@@ -21,7 +21,7 @@ from repro.cluster.storage import BinaryRepository, ObjectStore, StructuredStore
 from repro.core.config import ExistConfig, TraceReason, TracingRequest
 from repro.core.otc import TracingSession
 from repro.core.rco import Repetition, RepetitionAwareCoverageOptimizer
-from repro.hwtrace.decoder import encode_trace
+from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
 from repro.program.workloads import WorkloadProfile, get_workload
 from repro.util.units import MIB, MSEC, SEC
 
@@ -174,9 +174,17 @@ class ClusterMaster:
             self.nodes[node_name].run_for(window)
 
         # (4) upload raw traces, decode, persist structured rows
-        from repro.hwtrace.decoder import SoftwareDecoder
-
         task.status.phase = TaskPhase.DECODING
+        # one decoder for the whole task: the binary repository mapping is
+        # shared across sessions, and the columnar decode path aggregates
+        # records/histograms without iterating them one by one
+        binary = self.binary_repository.fetch(task.spec.app)
+        decoder = SoftwareDecoder(
+            {
+                (pod.process.cr3 if pod.process is not None else 0): binary
+                for pod, _ in sessions
+            }
+        )
         for pod, session in sessions:
             if not session.stopped:
                 node = self.nodes[pod.node_name]
@@ -190,10 +198,6 @@ class ClusterMaster:
 
             # decode off-node: raw bytes from OSS + the binary from the
             # repository (never reaching into the worker's memory)
-            node = self.nodes[pod.node_name]
-            binary = self.binary_repository.fetch(pod.app)
-            cr3 = pod.process.cr3 if pod.process is not None else 0
-            decoder = SoftwareDecoder({cr3: binary})
             decoded = decoder.decode(self.object_store.get(key), resilient=True)
             histogram = decoded.function_histogram()
             self.structured_store.insert(

@@ -11,7 +11,9 @@ package models each piece:
 * :mod:`repro.hwtrace.msr` — the RTIT register file, enforcing the
   hardware rule that configuration changes require tracing disabled
   (the root cause of per-context-switch control cost, §2.3);
-* :mod:`repro.hwtrace.packets` — binary packet encode/parse;
+* :mod:`repro.hwtrace.packets` — binary packet encode/parse (objects);
+* :mod:`repro.hwtrace.codec` — the vectorized columnar scanner the
+  throughput path runs on (no per-packet objects);
 * :mod:`repro.hwtrace.topa` — Table-of-Physical-Addresses output buffers
   with stop-on-full (compulsory) and ring semantics;
 * :mod:`repro.hwtrace.tracer` — the per-core tracer consuming execution
@@ -42,9 +44,19 @@ from repro.hwtrace.packets import (
     encode_packets,
     parse_stream,
 )
+from repro.hwtrace.codec import (
+    ScannedStream,
+    scan_stream,
+    scan_stream_resilient,
+)
 from repro.hwtrace.topa import ToPAEntry, ToPAOutput, OutputMode
 from repro.hwtrace.tracer import CoreTracer, TraceSegment, VolumeModel
-from repro.hwtrace.decoder import SoftwareDecoder, DecodedTrace, DecodedRecord
+from repro.hwtrace.decoder import (
+    SoftwareDecoder,
+    DecodedTrace,
+    DecodedRecord,
+    encode_trace,
+)
 
 __all__ = [
     "CostModel",
@@ -72,7 +84,11 @@ __all__ = [
     "CoreTracer",
     "TraceSegment",
     "VolumeModel",
+    "ScannedStream",
+    "scan_stream",
+    "scan_stream_resilient",
     "SoftwareDecoder",
     "DecodedTrace",
     "DecodedRecord",
+    "encode_trace",
 ]

@@ -6,22 +6,48 @@ Two halves:
   binary packet stream (what the hardware would have written to memory
   and the facility uploaded to object storage);
 * :class:`SoftwareDecoder` — parse that stream back and reconstruct the
-  control flow against the program binaries, producing
-  :class:`DecodedRecord`s (timestamped block executions attributed to a
+  control flow against the program binaries, producing a
+  :class:`DecodedTrace` (timestamped block executions attributed to a
   process via PIP/CR3).
 
 The round trip is genuine: the decoder sees only bytes and binaries, and
 every reconstruction consumed by the analysis layer flows through it.
+
+Throughput architecture: both directions are columnar.  The encoder
+assembles each segment's event body from preallocated numpy byte arrays
+(:func:`repro.hwtrace.codec.encode_event_records`) and the decoder scans
+packet framing with numpy (:mod:`repro.hwtrace.codec`), forward-fills
+TSC/PIP context over the packet columns, and resolves TIP addresses to
+blocks with a sorted-array ``searchsorted`` — no per-packet or per-record
+Python objects exist on the hot path.  The result is a
+structure-of-arrays :class:`DecodedTrace` whose ``records`` property
+remains available as an object-level compatibility view, and
+:meth:`SoftwareDecoder.decode_objects` keeps the original per-packet
+reference implementation for golden comparisons.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hwtrace.codec import (
+    KIND_OVF,
+    KIND_PIP,
+    KIND_PTW,
+    KIND_TIP,
+    KIND_TNT,
+    KIND_TSC,
+    ScannedStream,
+    encode_event_records,
+    scan_stream,
+    scan_stream_resilient,
+)
 from repro.hwtrace.packets import (
+    OVF_BYTES,
+    PSB_BYTES,
     OvfPacket,
     PipPacket,
     PsbPacket,
@@ -36,6 +62,8 @@ from repro.hwtrace.packets import (
 from repro.hwtrace.tracer import TraceSegment
 from repro.program.binary import Binary
 
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
 
 def encode_trace(segments: Sequence[TraceSegment]) -> bytes:
     """Serialize captured segments into one packet stream.
@@ -45,87 +73,158 @@ def encode_trace(segments: Sequence[TraceSegment]) -> bytes:
     branch outcomes and one TIP carries the event's block address.  A
     truncated segment ends with an OVF packet so the decoder knows data
     was lost there.
+
+    The event body is assembled columnar (one vectorized pass per
+    segment); the bytes are identical to what per-packet object encoding
+    produced.
     """
-    packets: List[object] = []
+    parts: List[bytes] = []
     for segment in segments:
-        packets.append(PsbPacket())
-        packets.append(TscPacket(segment.t_start))
-        packets.append(PipPacket(segment.cr3))
-        events = segment.path_model.events(
-            segment.event_start, segment.captured_event_end
-        )
+        parts.append(PSB_BYTES)
+        parts.append(TscPacket(segment.t_start).encode())
+        parts.append(PipPacket(segment.cr3).encode())
+        events = segment.captured_block_ids()
         binary = segment.path_model.binary
-        blocks = binary.blocks
-        walk = events.tolist()
-        for position, block_id in enumerate(walk):
-            # representative TNT bits: taken-pattern derived from the
-            # block id so the payload is deterministic and non-trivial
-            bits = tuple(bool((block_id >> k) & 1) for k in range(4))
-            packets.append(TntPacket(bits))
-            packets.append(TipPacket(blocks[block_id].address))
+        parts.append(
+            encode_event_records(events, binary.block_addresses[events])
+        )
         if segment.truncated:
-            packets.append(OvfPacket())
-    return encode_packets(packets)  # type: ignore[arg-type]
+            parts.append(OVF_BYTES)
+    return b"".join(parts)
 
 
-@dataclass(frozen=True)
 class DecodedRecord:
-    """One reconstructed block execution."""
+    """One reconstructed block execution (object view of one SoA row)."""
 
-    timestamp: int
-    cr3: int
-    block_id: int
-    function_id: int
+    __slots__ = ("timestamp", "cr3", "block_id", "function_id")
+
+    def __init__(self, timestamp: int, cr3: int, block_id: int, function_id: int):
+        self.timestamp = timestamp
+        self.cr3 = cr3
+        self.block_id = block_id
+        self.function_id = function_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecodedRecord(timestamp={self.timestamp}, cr3={self.cr3:#x}, "
+            f"block_id={self.block_id}, function_id={self.function_id})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecodedRecord):
+            return NotImplemented
+        return (
+            self.timestamp == other.timestamp
+            and self.cr3 == other.cr3
+            and self.block_id == other.block_id
+            and self.function_id == other.function_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.timestamp, self.cr3, self.block_id, self.function_id))
 
 
-@dataclass
 class DecodedTrace:
-    """Reconstruction result for one packet stream."""
+    """Reconstruction result for one packet stream, structure-of-arrays.
 
-    records: List[DecodedRecord] = field(default_factory=list)
-    #: count of OVF packets seen (data-loss points)
-    overflows: int = 0
-    #: TIP addresses that matched no known binary block
-    unresolved: int = 0
-    #: PSB resynchronizations performed on corrupt input
-    resyncs: int = 0
-    #: PTWRITE payloads, timestamped ((time, cr3, value))
-    ptwrites: List[tuple] = field(default_factory=list)
+    Four parallel int64 arrays hold one reconstructed block execution per
+    index: ``timestamps``, ``cr3s``, ``block_ids``, ``function_ids``.
+    All aggregation helpers operate on the columns directly; the
+    ``records`` property materializes the old object-level view for
+    callers that still want :class:`DecodedRecord` instances.
+    """
+
+    def __init__(
+        self,
+        timestamps: Optional[np.ndarray] = None,
+        cr3s: Optional[np.ndarray] = None,
+        block_ids: Optional[np.ndarray] = None,
+        function_ids: Optional[np.ndarray] = None,
+        overflows: int = 0,
+        unresolved: int = 0,
+        resyncs: int = 0,
+        ptwrites: Optional[List[tuple]] = None,
+    ):
+        self.timestamps = timestamps if timestamps is not None else _EMPTY_I64
+        self.cr3s = cr3s if cr3s is not None else _EMPTY_I64
+        self.block_ids = block_ids if block_ids is not None else _EMPTY_I64
+        self.function_ids = function_ids if function_ids is not None else _EMPTY_I64
+        #: count of OVF packets seen (data-loss points)
+        self.overflows = overflows
+        #: TIP addresses that matched no known binary block
+        self.unresolved = unresolved
+        #: PSB resynchronizations performed on corrupt input
+        self.resyncs = resyncs
+        #: PTWRITE payloads, timestamped ((time, cr3, value))
+        self.ptwrites: List[tuple] = ptwrites if ptwrites is not None else []
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[DecodedRecord],
+        overflows: int = 0,
+        unresolved: int = 0,
+        resyncs: int = 0,
+        ptwrites: Optional[List[tuple]] = None,
+    ) -> "DecodedTrace":
+        """Build the SoA form from an object-level record sequence."""
+        n = len(records)
+        return cls(
+            timestamps=np.fromiter((r.timestamp for r in records), np.int64, n),
+            cr3s=np.fromiter((r.cr3 for r in records), np.int64, n),
+            block_ids=np.fromiter((r.block_id for r in records), np.int64, n),
+            function_ids=np.fromiter((r.function_id for r in records), np.int64, n),
+            overflows=overflows,
+            unresolved=unresolved,
+            resyncs=resyncs,
+            ptwrites=ptwrites,
+        )
+
+    @property
+    def records(self) -> List[DecodedRecord]:
+        """Object-level compatibility view (built on demand)."""
+        return [
+            DecodedRecord(t, c, b, f)
+            for t, c, b, f in zip(
+                self.timestamps.tolist(),
+                self.cr3s.tolist(),
+                self.block_ids.tolist(),
+                self.function_ids.tolist(),
+            )
+        ]
+
+    def _select(self, column: np.ndarray, cr3: Optional[int]) -> np.ndarray:
+        return column if cr3 is None else column[self.cr3s == cr3]
 
     def block_sequence(self, cr3: Optional[int] = None) -> List[int]:
         """Ordered block ids (optionally restricted to one process)."""
-        return [
-            r.block_id
-            for r in self.records
-            if cr3 is None or r.cr3 == cr3
-        ]
+        return self._select(self.block_ids, cr3).tolist()
 
     def function_histogram(self, cr3: Optional[int] = None) -> Dict[int, int]:
         """function_id -> occurrence count."""
-        hist: Dict[int, int] = {}
-        for record in self.records:
-            if cr3 is not None and record.cr3 != cr3:
-                continue
-            hist[record.function_id] = hist.get(record.function_id, 0) + 1
-        return hist
+        function_ids = self._select(self.function_ids, cr3)
+        unique, counts = np.unique(function_ids, return_counts=True)
+        return {int(f): int(c) for f, c in zip(unique, counts)}
 
     def visit_counts(self, n_blocks: int, cr3: Optional[int] = None) -> np.ndarray:
         """Per-block execution counts over the reconstruction."""
-        counts = np.zeros(n_blocks, dtype=np.int64)
-        for record in self.records:
-            if cr3 is None or record.cr3 == cr3:
-                counts[record.block_id] += 1
-        return counts
+        block_ids = self._select(self.block_ids, cr3)
+        counts = np.bincount(block_ids, minlength=n_blocks)
+        if counts.size > n_blocks:
+            raise IndexError(
+                f"block id {int(block_ids.max())} out of range for "
+                f"{n_blocks} blocks"
+            )
+        return counts.astype(np.int64)
 
     def time_span(self) -> Optional[tuple]:
         """(first, last) record timestamp, or None when empty."""
-        if not self.records:
+        if self.timestamps.size == 0:
             return None
-        times = [r.timestamp for r in self.records]
-        return (min(times), max(times))
+        return (int(self.timestamps.min()), int(self.timestamps.max()))
 
     def __len__(self) -> int:
-        return len(self.records)
+        return int(self.block_ids.size)
 
 
 class SoftwareDecoder:
@@ -142,6 +241,17 @@ class SoftwareDecoder:
             cr3: {block.address: block.block_id for block in binary.blocks}
             for cr3, binary in self._binaries.items()
         }
+        # sorted-address tables for vectorized TIP resolution:
+        # cr3 -> (sorted addresses, block id per sorted slot, function ids)
+        self._tables: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for cr3, binary in self._binaries.items():
+            addresses = binary.block_addresses
+            order = np.argsort(addresses)
+            self._tables[cr3] = (
+                addresses[order],
+                order.astype(np.int64),
+                binary.block_function_ids,
+            )
 
     @classmethod
     def for_processes(cls, processes: Iterable[object]) -> "SoftwareDecoder":
@@ -153,6 +263,8 @@ class SoftwareDecoder:
                 mapping[process.cr3] = binary
         return cls(mapping)
 
+    # -- vectorized path (production) --------------------------------------
+
     def decode(self, data: bytes, resilient: bool = False) -> DecodedTrace:
         """Parse and reconstruct one core's packet stream.
 
@@ -160,15 +272,146 @@ class SoftwareDecoder:
         production decoder's behaviour); strict mode raises on bad
         framing, which is what tests and integrity checks want.
         """
-        trace = DecodedTrace()
+        if resilient:
+            scanned = scan_stream_resilient(data)
+        else:
+            scanned = scan_stream(data)
+        return self._reconstruct(scanned)
+
+    def _reconstruct(self, scanned: ScannedStream) -> DecodedTrace:
+        """Turn scanned packet columns into a decoded SoA trace."""
+        kinds = scanned.kinds
+        values = scanned.values
+        # TNT packets carry no event-level information below symbolic
+        # resolution; drop their rows once so every later pass runs on
+        # half the column length
+        relevant = kinds != KIND_TNT
+        kinds = kinds[relevant]
+        values = values[relevant]
+        overflows = int(np.count_nonzero(kinds == KIND_OVF))
+        tip_mask = kinds == KIND_TIP
+        ptw_mask = kinds == KIND_PTW
+        if not tip_mask.any() and not ptw_mask.any():
+            return DecodedTrace(overflows=overflows, resyncs=scanned.resyncs)
+
+        # forward-fill decode context over the packet sequence: each
+        # packet sees the value of the last TSC / PIP at or before it
+        pip_mask = kinds == KIND_PIP
+        times = _forward_fill(kinds == KIND_TSC, values)
+        cr3s = _forward_fill(pip_mask, values)
+
+        ptwrites = [
+            (int(t), int(c), int(v))
+            for t, c, v in zip(
+                times[ptw_mask], cr3s[ptw_mask], values[ptw_mask]
+            )
+        ]
+
+        addresses = values[tip_mask].astype(np.int64)
+        tip_times = times[tip_mask]
+        tip_cr3s = cr3s[tip_mask]
+        block_ids = np.full(addresses.size, -1, dtype=np.int64)
+        function_ids = np.full(addresses.size, -1, dtype=np.int64)
+        # candidate contexts come from the (few) PIP packets, not from a
+        # sort over the per-record cr3 column; 0 is the pre-PIP default
+        candidates = set(np.unique(values[pip_mask]).tolist())
+        candidates.add(0)
+        for cr3 in sorted(candidates):
+            table = self._tables.get(cr3)
+            if table is None:
+                continue  # unknown process: every TIP stays unresolved
+            selected = tip_cr3s == cr3
+            if not selected.any():
+                continue
+            sorted_addresses, slot_block_ids, binary_function_ids = table
+            if sorted_addresses.size == 0:
+                continue
+            wanted = addresses[selected]
+            slots = np.searchsorted(sorted_addresses, wanted)
+            slots_clipped = np.minimum(slots, sorted_addresses.size - 1)
+            hits = sorted_addresses[slots_clipped] == wanted
+            resolved = np.where(hits, slot_block_ids[slots_clipped], -1)
+            block_ids[selected] = resolved
+            function_ids[selected] = np.where(
+                hits, binary_function_ids[np.maximum(resolved, 0)], -1
+            )
+        keep = block_ids >= 0
+        unresolved = int(addresses.size - np.count_nonzero(keep))
+        return DecodedTrace(
+            timestamps=tip_times[keep],
+            cr3s=tip_cr3s[keep],
+            block_ids=block_ids[keep],
+            function_ids=function_ids[keep],
+            overflows=overflows,
+            unresolved=unresolved,
+            resyncs=scanned.resyncs,
+            ptwrites=ptwrites,
+        )
+
+    def decode_many(
+        self,
+        streams: Iterable[bytes],
+        resilient: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> DecodedTrace:
+        """Decode several per-core streams and merge by timestamp.
+
+        Streams decode concurrently (chunked one-per-stream across a
+        thread pool — the columnar scan spends its time in numpy, which
+        releases the GIL) and the merge is a single stable ``argsort``
+        over the concatenated timestamp column.  All fields merge:
+        records, overflows, unresolved, resyncs, and ptwrites (also
+        timestamp-ordered); ``resilient`` applies to every stream.
+        """
+        streams = list(streams)
+        if len(streams) <= 1:
+            decoded = [self.decode(s, resilient=resilient) for s in streams]
+        else:
+            workers = max_workers or min(len(streams), 8)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                decoded = list(
+                    pool.map(lambda s: self.decode(s, resilient=resilient), streams)
+                )
+        if not decoded:
+            return DecodedTrace()
+        timestamps = np.concatenate([d.timestamps for d in decoded])
+        order = np.argsort(timestamps, kind="stable")
+        merged = DecodedTrace(
+            timestamps=timestamps[order],
+            cr3s=np.concatenate([d.cr3s for d in decoded])[order],
+            block_ids=np.concatenate([d.block_ids for d in decoded])[order],
+            function_ids=np.concatenate([d.function_ids for d in decoded])[order],
+            overflows=sum(d.overflows for d in decoded),
+            unresolved=sum(d.unresolved for d in decoded),
+            resyncs=sum(d.resyncs for d in decoded),
+            ptwrites=sorted(
+                (p for d in decoded for p in d.ptwrites), key=lambda p: p[0]
+            ),
+        )
+        return merged
+
+    # -- object-level reference path ---------------------------------------
+
+    def decode_objects(self, data: bytes, resilient: bool = False) -> DecodedTrace:
+        """Reference decode via per-packet objects (the pre-columnar path).
+
+        Semantically identical to :meth:`decode` — kept as the golden
+        reference the equality tests and the codec benchmark compare the
+        vectorized path against.
+        """
+        records: List[DecodedRecord] = []
+        ptwrites: List[tuple] = []
+        overflows = 0
+        unresolved = 0
         current_time = 0
         current_cr3 = 0
         address_map: Optional[Dict[int, int]] = None
         binary: Optional[Binary] = None
         if resilient:
-            packets, trace.resyncs = parse_stream_resilient(data)
+            packets, resyncs = parse_stream_resilient(data)
         else:
             packets = parse_stream(data)
+            resyncs = 0
         for packet in packets:
             if isinstance(packet, TscPacket):
                 current_time = packet.timestamp
@@ -178,13 +421,13 @@ class SoftwareDecoder:
                 address_map = self._address_maps.get(current_cr3)
             elif isinstance(packet, TipPacket):
                 if address_map is None or binary is None:
-                    trace.unresolved += 1
+                    unresolved += 1
                     continue
                 block_id = address_map.get(packet.address)
                 if block_id is None:
-                    trace.unresolved += 1
+                    unresolved += 1
                     continue
-                trace.records.append(
+                records.append(
                     DecodedRecord(
                         timestamp=current_time,
                         cr3=current_cr3,
@@ -193,20 +436,46 @@ class SoftwareDecoder:
                     )
                 )
             elif isinstance(packet, OvfPacket):
-                trace.overflows += 1
+                overflows += 1
             elif isinstance(packet, PtwPacket):
-                trace.ptwrites.append((current_time, current_cr3, packet.value))
+                ptwrites.append((current_time, current_cr3, packet.value))
             # PSB and TNT packets carry no event-level information here:
             # PSB is sync, TNT intra-event detail below symbolic resolution
-        return trace
+        return DecodedTrace.from_records(
+            records,
+            overflows=overflows,
+            unresolved=unresolved,
+            resyncs=resyncs,
+            ptwrites=ptwrites,
+        )
 
-    def decode_many(self, streams: Iterable[bytes]) -> DecodedTrace:
-        """Decode several per-core streams and merge by timestamp."""
-        merged = DecodedTrace()
-        for data in streams:
-            decoded = self.decode(data)
-            merged.records.extend(decoded.records)
-            merged.overflows += decoded.overflows
-            merged.unresolved += decoded.unresolved
-        merged.records.sort(key=lambda r: r.timestamp)
-        return merged
+
+def encode_trace_objects(segments: Sequence[TraceSegment]) -> bytes:
+    """Reference encoder via per-packet objects (the pre-columnar path).
+
+    Byte-identical to :func:`encode_trace`; kept for golden-equality
+    tests and the codec benchmark.
+    """
+    packets: List[object] = []
+    for segment in segments:
+        packets.append(PsbPacket())
+        packets.append(TscPacket(segment.t_start))
+        packets.append(PipPacket(segment.cr3))
+        blocks = segment.path_model.binary.blocks
+        for block_id in segment.captured_block_ids().tolist():
+            bits = tuple(bool((block_id >> k) & 1) for k in range(4))
+            packets.append(TntPacket(bits))
+            packets.append(TipPacket(blocks[block_id].address))
+        if segment.truncated:
+            packets.append(OvfPacket())
+    return encode_packets(packets)  # type: ignore[arg-type]
+
+
+def _forward_fill(mask: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Per-position value of the last ``mask`` slot at or before it (0 start)."""
+    n = mask.size
+    indices = np.where(mask, np.arange(n), -1)
+    np.maximum.accumulate(indices, out=indices)
+    filled = values[np.maximum(indices, 0)].astype(np.int64)
+    filled[indices < 0] = 0
+    return filled

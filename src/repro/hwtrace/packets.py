@@ -37,7 +37,17 @@ _TIP_HEADER = 0x0D
 
 
 class PacketError(ValueError):
-    """Malformed packet stream."""
+    """Malformed packet stream.
+
+    ``offset`` carries the byte offset of the offending packet when the
+    error arose while parsing a stream (``None`` for encode-time
+    validation errors).  Resilient parsing resynchronizes from it
+    structurally instead of string-parsing the message.
+    """
+
+    def __init__(self, message: str, offset: Optional[int] = None):
+        super().__init__(message)
+        self.offset = offset
 
 
 @dataclass(frozen=True)
@@ -163,11 +173,11 @@ def _parse(data: bytes, start: int) -> "Tuple[List[Packet], Optional[int]]":
         b0 = data[i]
         if b0 == _EXT_PREFIX:
             if i + 1 >= n:
-                raise PacketError(f"truncated extended packet at offset {i}")
+                raise PacketError(f"truncated extended packet at offset {i}", i)
             b1 = data[i + 1]
             if b1 == _EXT_PSB:
                 if data[i : i + 16] != PSB_BYTES:
-                    raise PacketError(f"corrupt PSB at offset {i}")
+                    raise PacketError(f"corrupt PSB at offset {i}", i)
                 packets.append(PsbPacket())
                 i += 16
             elif b1 == _EXT_OVF:
@@ -175,35 +185,37 @@ def _parse(data: bytes, start: int) -> "Tuple[List[Packet], Optional[int]]":
                 i += 2
             elif b1 == _EXT_PIP:
                 if i + 8 > n:
-                    raise PacketError(f"truncated PIP at offset {i}")
+                    raise PacketError(f"truncated PIP at offset {i}", i)
                 cr3 = int.from_bytes(data[i + 2 : i + 8], "little")
                 packets.append(PipPacket(cr3))
                 i += 8
             elif b1 == _EXT_PTW:
                 if i + 10 > n:
-                    raise PacketError(f"truncated PTWRITE at offset {i}")
+                    raise PacketError(f"truncated PTWRITE at offset {i}", i)
                 value = int.from_bytes(data[i + 2 : i + 10], "little")
                 packets.append(PtwPacket(value))
                 i += 10
             else:
                 raise PacketError(
-                    f"unknown extended opcode {b1:#04x} at offset {i}"
+                    f"unknown extended opcode {b1:#04x} at offset {i}", i
                 )
         elif b0 == _TSC_HEADER:
             if i + 8 > n:
-                raise PacketError(f"truncated TSC at offset {i}")
+                raise PacketError(f"truncated TSC at offset {i}", i)
             packets.append(TscPacket(int.from_bytes(data[i + 1 : i + 8], "little")))
             i += 8
         elif b0 == _TIP_HEADER:
             if i + 7 > n:
-                raise PacketError(f"truncated TIP at offset {i}")
+                raise PacketError(f"truncated TIP at offset {i}", i)
             packets.append(TipPacket(int.from_bytes(data[i + 1 : i + 7], "little")))
             i += 7
         elif (b0 & 0x01) == 0 and b0 != 0:
             packets.append(_parse_tnt(b0))
             i += 1
         else:
-            raise PacketError(f"unrecognized packet header {b0:#04x} at offset {i}")
+            raise PacketError(
+                f"unrecognized packet header {b0:#04x} at offset {i}", i
+            )
     return packets, None
 
 
@@ -239,20 +251,12 @@ def parse_stream_resilient(data: bytes) -> "Tuple[List[Packet], int]":
 
 def _parse_or_error(data: bytes, start: int):
     """Run :func:`_parse` but convert the exception into an offset."""
-    packets: List[Packet] = []
-    i = start
-    while True:
-        try:
-            chunk, _ = _parse(data, i)
-        except PacketError as exc:
-            # the message carries "at offset N" relative to the buffer
-            message = str(exc)
-            marker = "at offset "
-            position = message.rfind(marker)
-            error_offset = int(message[position + len(marker):]) if position >= 0 else i
-            # reparse the clean prefix only
-            clean, _ = _parse(data[:error_offset], i)
-            packets.extend(clean)
-            return packets, error_offset
-        packets.extend(chunk)
-        return packets, None
+    try:
+        chunk, _ = _parse(data, start)
+    except PacketError as exc:
+        # the exception carries the offending packet's buffer offset
+        error_offset = exc.offset if exc.offset is not None else start
+        # reparse the clean prefix only
+        clean, _ = _parse(data[:error_offset], start)
+        return clean, error_offset
+    return chunk, None

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.hwtrace.cost import CostLedger
 from repro.hwtrace.msr import CtlBits, RtitMsrFile
 from repro.hwtrace.topa import OutputMode, ToPAOutput
@@ -87,6 +89,14 @@ class TraceSegment:
     @property
     def captured_events(self) -> int:
         return self.captured_event_end - self.event_start
+
+    def captured_block_ids(self) -> np.ndarray:
+        """Block ids of the events this segment actually retained.
+
+        The columnar encoder consumes this directly (one array per
+        segment) instead of iterating events one by one.
+        """
+        return self.path_model.events(self.event_start, self.captured_event_end)
 
 
 class CoreTracer:

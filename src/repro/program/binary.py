@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class FunctionCategory(enum.Enum):
     """Costly-function taxonomy of the paper's Figure 21.
@@ -170,6 +172,38 @@ class Binary:
             max((b.end_address for b in self.blocks), default=base_address)
             - base_address
         )
+        self._block_addresses: Optional[np.ndarray] = None
+        self._block_function_ids: Optional[np.ndarray] = None
+        self._block_instructions: Optional[np.ndarray] = None
+
+    # -- columnar lookup tables (cached; the codec hot path) ----------------
+
+    @property
+    def block_addresses(self) -> np.ndarray:
+        """Block start address per block id (int64, index == block_id)."""
+        if self._block_addresses is None:
+            self._block_addresses = np.fromiter(
+                (b.address for b in self.blocks), np.int64, len(self.blocks)
+            )
+        return self._block_addresses
+
+    @property
+    def block_function_ids(self) -> np.ndarray:
+        """Owning function id per block id (int64)."""
+        if self._block_function_ids is None:
+            self._block_function_ids = np.fromiter(
+                (b.function_id for b in self.blocks), np.int64, len(self.blocks)
+            )
+        return self._block_function_ids
+
+    @property
+    def block_instructions(self) -> np.ndarray:
+        """Instruction count per block id (int64)."""
+        if self._block_instructions is None:
+            self._block_instructions = np.fromiter(
+                (b.n_instructions for b in self.blocks), np.int64, len(self.blocks)
+            )
+        return self._block_instructions
 
     # -- lookups -----------------------------------------------------------
 

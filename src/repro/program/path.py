@@ -166,15 +166,16 @@ class PathModel:
     def function_histogram(self, start: int, end: int) -> Dict[int, float]:
         """Instruction-weighted function occurrence histogram for a range."""
         counts = self.visit_counts(start, end)
-        instr = np.array(
-            [b.n_instructions for b in self.binary.blocks], dtype=np.int64
+        weighted = counts * self.binary.block_instructions
+        function_mass = np.bincount(
+            self.binary.block_function_ids,
+            weights=weighted.astype(np.float64),
+            minlength=self.binary.n_functions,
         )
-        weighted = counts * instr
-        hist: Dict[int, float] = {}
-        for block_id in np.nonzero(weighted)[0]:
-            fid = int(self.binary.blocks[int(block_id)].function_id)
-            hist[fid] = hist.get(fid, 0.0) + float(weighted[int(block_id)])
-        return hist
+        return {
+            int(fid): float(function_mass[fid])
+            for fid in np.flatnonzero(function_mass)
+        }
 
     def sample_block(self, event_index: int) -> int:
         """Block executing at a given absolute event index (for samplers)."""

@@ -38,12 +38,14 @@ class TestCommands:
         assert "MSR operations" in out
         assert "top 2 functions" in out
 
+    @pytest.mark.slow
     def test_trace_service_without_decode(self, capsys):
         assert main(["trace", "mc", "--period-ms", "120", "--top", "0"]) == 0
         out = capsys.readouterr().out
         assert "traced mc" in out
         assert "top" not in out
 
+    @pytest.mark.slow
     def test_compare_two_schemes(self, capsys):
         assert main([
             "compare", "ng", "--schemes", "Oracle", "EXIST",

@@ -55,6 +55,7 @@ class TestCampaignRounds:
         apps = {t.spec.app for t in first + second}
         assert apps == {"Cache", "Agent"}
 
+    @pytest.mark.slow
     def test_coverage_accumulates_across_rounds(self, cluster):
         campaign = ProfilingCampaign(
             cluster, apps=["Cache"],

@@ -61,6 +61,7 @@ class TestMetricMonitor:
             MetricMonitor(alpha=0.0)
 
 
+@pytest.mark.slow
 class TestAnomalyTrigger:
     @pytest.fixture
     def cluster(self):

@@ -21,6 +21,7 @@ def run_exist(workload="ex", seed=5, window_ms=None, **scheme_kwargs):
     return system, process, scheme
 
 
+@pytest.mark.slow
 class TestContinuousSessions:
     def test_sessions_restart_back_to_back(self):
         system, process, scheme = run_exist(

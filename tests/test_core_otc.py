@@ -145,6 +145,7 @@ class TestCapture:
 class TestConcurrentSessions:
     """Two targets traced simultaneously on disjoint coresets."""
 
+    @pytest.mark.slow
     def test_two_sessions_disjoint_coresets(self):
         from repro.util.units import MIB
 
@@ -171,6 +172,7 @@ class TestConcurrentSessions:
         # buffers all released afterwards
         assert system.facility_memory_bytes == 0
 
+    @pytest.mark.slow
     def test_sessions_do_not_cross_capture_on_shared_node(self):
         from repro.core.config import TracingRequest
         from repro.util.units import MIB

@@ -28,6 +28,7 @@ def test_examples_directory_complete():
     assert len(names) >= 3  # deliverable: at least three runnable examples
 
 
+@pytest.mark.slow
 def test_quickstart():
     result = run_example("quickstart.py")
     assert result.returncode == 0, result.stderr
@@ -35,6 +36,7 @@ def test_quickstart():
     assert "hottest functions" in result.stdout
 
 
+@pytest.mark.slow
 def test_anomaly_diagnosis():
     result = run_example("anomaly_diagnosis.py")
     assert result.returncode == 0, result.stderr
@@ -42,6 +44,7 @@ def test_anomaly_diagnosis():
     assert "file_write" in result.stdout
 
 
+@pytest.mark.slow
 def test_cluster_profiling():
     result = run_example("cluster_profiling.py")
     assert result.returncode == 0, result.stderr
@@ -49,6 +52,7 @@ def test_cluster_profiling():
     assert "management pod" in result.stdout
 
 
+@pytest.mark.slow
 def test_scheme_comparison():
     result = run_example("scheme_comparison.py", "ng")
     assert result.returncode == 0, result.stderr
@@ -56,6 +60,7 @@ def test_scheme_comparison():
     assert "NHT" in result.stdout
 
 
+@pytest.mark.slow
 def test_two_level_observability():
     result = run_example("two_level_observability.py")
     assert result.returncode == 0, result.stderr

@@ -83,6 +83,7 @@ class TestSlowdownHarness:
         assert result["NHT"] == max(result.values())
 
 
+@pytest.mark.slow
 class TestThroughputHarness:
     def test_figure14_ordering_spot_check(self):
         result = run_online_throughput(
@@ -106,6 +107,7 @@ class TestTables:
             assert set(row) == {"Oracle", "EXIST"}
             assert row["Oracle"] == 1.0
 
+    @pytest.mark.slow
     def test_throughput_table_shape(self):
         from repro.experiments.scenarios import throughput_table
 

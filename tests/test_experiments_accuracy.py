@@ -30,6 +30,7 @@ class TestDirectAccuracy:
         )
 
 
+@pytest.mark.slow
 class TestWeightAccuracy:
     def test_service_accuracy_in_band(self):
         accuracy = weight_accuracy_vs_nht("Cache", period_ms=150, seed=31)

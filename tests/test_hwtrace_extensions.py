@@ -69,6 +69,7 @@ class TestHotSwitching:
         assert msr.cr3_match == 0x1000
         assert msr.trace_enabled
 
+    @pytest.mark.slow
     def test_hot_switching_halves_nht_switch_ops(self):
         """The §6.1 claim: hot switching lowers conventional control cost."""
         from repro.experiments.scenarios import run_traced_execution

@@ -44,6 +44,7 @@ class TestAccuracyPipeline:
 
 
 class TestClusterPipeline:
+    @pytest.mark.slow
     def test_trace_task_to_structured_results(self):
         master = ClusterMaster(seed=5)
         for index in range(4):

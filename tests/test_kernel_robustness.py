@@ -79,6 +79,7 @@ class TestMsrSafetyInjection:
         with pytest.raises(TraceEnabledError):
             enabled[0].msr.write(RTIT_CR3_MATCH, 0xBAD)
 
+    @pytest.mark.slow
     def test_exist_never_writes_while_enabled(self):
         """Many back-to-back sessions: no TraceEnabledError ever raised
         from EXIST's own control path."""

@@ -68,6 +68,7 @@ class TestGriffinScheme:
         )
         assert captured >= 0.95 * total
 
+    @pytest.mark.slow
     def test_overhead_exceeds_exist(self):
         from repro.core.exist import ExistScheme
 
@@ -103,6 +104,7 @@ class TestTable5Functionality:
         traced_events = sum(t.engine.event_index for t in traced.target.threads)
         assert plain_events == traced_events
 
+    @pytest.mark.slow
     def test_exist_continuity(self):
         """Continuous tracing: back-to-back sessions cover the whole run."""
         from repro.core.exist import ExistScheme

@@ -29,6 +29,7 @@ def bandwidth_mb_s(profile) -> float:
 
 
 class TestTraceBandwidthBands:
+    @pytest.mark.slow
     def test_single_thread_compute_band(self):
         """Per-core bandwidths land 0.5 s traces in Table 4's tens-of-MB."""
         for profile in compute_workloads():
@@ -37,6 +38,7 @@ class TestTraceBandwidthBands:
             bandwidth = bandwidth_mb_s(profile)
             assert 60 < bandwidth < 260, (profile.name, bandwidth)
 
+    @pytest.mark.slow
     def test_xz_is_the_heaviest_compute_tracer(self):
         xz = bandwidth_mb_s(WORKLOADS["xz"])
         others = [
