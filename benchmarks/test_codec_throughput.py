@@ -11,11 +11,12 @@ the object decode by >= 10x on this stream.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 from conftest import emit
+
+from repro.util.bench import write_bench
 
 from repro.hwtrace.decoder import (
     SoftwareDecoder,
@@ -84,7 +85,7 @@ def test_codec_throughput():
     assert len(decoded) == len(reference)
     assert decoded.block_sequence()[:1000] == reference.block_sequence()[:1000]
 
-    report = {
+    metrics = {
         "stream_mb": round(megabytes, 3),
         "records": len(decoded),
         "encode_object_mb_s": round(megabytes / t_encode_objects, 2),
@@ -94,9 +95,9 @@ def test_codec_throughput():
         "decode_columnar_mb_s": round(megabytes / t_decode_columnar, 2),
         "decode_speedup": round(t_decode_objects / t_decode_columnar, 2),
     }
-    (REPO_ROOT / "BENCH_codec.json").write_text(
-        json.dumps(report, indent=2) + "\n"
-    )
+    report = write_bench(
+        REPO_ROOT / "BENCH_codec.json", "codec_throughput", metrics
+    )["metrics"]
 
     emit("Codec throughput (10 MB synthetic stream)")
     emit(f"{'path':<20}{'encode MB/s':>14}{'decode MB/s':>14}")

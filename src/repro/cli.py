@@ -24,11 +24,7 @@ from typing import List, Optional
 
 from repro.analysis.reconstruct import reconstruct
 from repro.analysis.tables import format_table
-from repro.experiments.scenarios import (
-    SCHEME_FACTORIES,
-    SCHEME_ORDER,
-    run_traced_execution,
-)
+from repro.experiments.scenarios import SCHEME_FACTORIES, SCHEME_ORDER
 from repro.program.workloads import WORKLOADS, get_workload
 from repro.util.units import MIB, MSEC, fmt_bytes, fmt_time
 
@@ -97,26 +93,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.parallel.matrix import MatrixCell, run_matrix
+
     profile = get_workload(args.workload)
-    rows = []
-    baseline = None
-    for name in args.schemes:
-        run = run_traced_execution(
-            args.workload, name, cpuset=[0, 1, 2, 3], seed=args.seed,
+    cells = [
+        MatrixCell(
+            workload=args.workload,
+            scheme=name,
+            seed=args.seed,
+            cpuset=(0, 1, 2, 3),
             window_s=args.window_s,
         )
-        metric = (
-            run.throughput_rps
-            if run.throughput_rps is not None
-            else 1e9 / run.completion_ns
-        )
+        for name in args.schemes
+    ]
+    results = run_matrix(cells, jobs=args.jobs)
+    rows = []
+    baseline = None
+    for name, result in zip(args.schemes, results):
+        metric = result.metric
         if baseline is None:
             baseline = metric
         rows.append([
             name,
             f"{(baseline - metric) / baseline:.2%}",
-            run.artifacts.ledger.count("wrmsr"),
-            f"{run.artifacts.space_bytes / MIB:.1f} MiB",
+            result.wrmsr_ops,
+            f"{result.space_bytes / MIB:.1f} MiB",
         ])
     print(format_table(
         rows,
@@ -139,7 +140,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         reason=TraceReason(args.reason),
         period_ns=args.period_ms * MSEC,
     ))
-    master.reconcile(task)
+    if args.jobs and args.jobs > 1:
+        from repro.parallel import RunPool
+
+        with RunPool(max_workers=args.jobs) as pool:
+            master.reconcile(task, pool=pool)
+    else:
+        master.reconcile(task)
     print(f"task {task.name}: {task.status.phase.value}")
     print(f"  repetitions traced: {task.status.sessions_completed}/{args.replicas}")
     print(f"  period:             {fmt_time(task.status.period_ns)}")
@@ -185,6 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--window-s", type=float, default=0.2)
     compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the scheme runs")
 
     cluster = sub.add_parser("cluster", help="reconcile a TraceTask CRD")
     cluster.add_argument("--app", default="Search1", choices=sorted(WORKLOADS))
@@ -195,6 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--reason", default="anomaly", choices=["anomaly", "profiling", "user"]
     )
     cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for trace decoding")
     return parser
 
 

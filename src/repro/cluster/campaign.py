@@ -65,8 +65,12 @@ class ProfilingCampaign:
 
     # -- one campaign round -------------------------------------------------------
 
-    def run_round(self) -> List[TraceTask]:
-        """Profile as many due apps as the round budget allows."""
+    def run_round(self, pool=None) -> List[TraceTask]:
+        """Profile as many due apps as the round budget allows.
+
+        ``pool`` (a :class:`repro.parallel.RunPool`) is forwarded to each
+        reconcile's decode fan-out.
+        """
         spent = 0.0
         submitted: List[TraceTask] = []
         for _ in range(len(self.apps)):
@@ -82,7 +86,7 @@ class ProfilingCampaign:
                 period_ns=self.period_ns,
                 requester="profiling-campaign",
             ))
-            self.master.reconcile(task)
+            self.master.reconcile(task, pool=pool)
             submitted.append(task)
             self._record(app, task)
         self.rounds_run += 1
@@ -129,3 +133,78 @@ class ProfilingCampaign:
             cycle = self.master.deployments[app].profile.path_model().length
             report[app] = progress.coverage_fraction(cycle)
         return report
+
+
+# ---------------------------------------------------------------------------
+# replicated campaigns (parallel fan-out)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Picklable description of one complete campaign replica.
+
+    Each replica builds its own cluster (masters and nodes are not
+    picklable), runs ``rounds`` rounds, and reduces to the primitive
+    coverage report — the unit of work for :func:`run_replicated_campaigns`.
+    """
+
+    apps: tuple
+    seed: int = 0
+    nodes: int = 3
+    replicas_per_app: int = 3
+    rounds: int = 2
+    budget_core_seconds_per_round: float = 5.0
+    period_ns: Optional[int] = None
+
+
+def run_campaign_replica(spec: CampaignSpec) -> Dict[str, float]:
+    """Build a fresh cluster, run one campaign replica, report coverage."""
+    from repro.cluster.node import ClusterNode
+
+    master = ClusterMaster(seed=spec.seed)
+    for index in range(spec.nodes):
+        master.add_node(
+            ClusterNode(f"node-{index:02d}", seed=spec.seed * 1000 + index)
+        )
+    for app in spec.apps:
+        master.deploy(app, replicas=spec.replicas_per_app)
+    campaign = ProfilingCampaign(
+        master,
+        list(spec.apps),
+        budget_core_seconds_per_round=spec.budget_core_seconds_per_round,
+        period_ns=spec.period_ns,
+    )
+    for _ in range(spec.rounds):
+        campaign.run_round()
+    return campaign.coverage_report()
+
+
+def run_replicated_campaigns(
+    specs: Sequence[CampaignSpec],
+    pool=None,
+    jobs: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Run independent campaign replicas, one cluster each, in parallel.
+
+    Results come back in spec order regardless of completion order, so
+    the merged view (e.g. mean coverage per app) is deterministic across
+    worker counts.  The Figure 20 repetition premise at harness level:
+    distinct seeds cover distinct parts of each app's behaviour cycle.
+    """
+    from repro.parallel.pool import RunPool
+
+    specs = list(specs)
+    if pool is not None:
+        return pool.map(run_campaign_replica, specs)
+    with RunPool(max_workers=jobs or 1) as owned:
+        return owned.map(run_campaign_replica, specs)
+
+
+def merged_coverage(reports: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Mean coverage per app across replica reports (deterministic order)."""
+    apps = sorted({app for report in reports for app in report})
+    return {
+        app: sum(report.get(app, 0.0) for report in reports) / len(reports)
+        for app in apps
+    }

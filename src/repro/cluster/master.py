@@ -22,8 +22,29 @@ from repro.core.config import ExistConfig, TraceReason, TracingRequest
 from repro.core.otc import TracingSession
 from repro.core.rco import Repetition, RepetitionAwareCoverageOptimizer
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
+from repro.parallel.pool import RunPool
 from repro.program.workloads import WorkloadProfile, get_workload
 from repro.util.units import MIB, MSEC, SEC
+
+
+#: worker-local decoder cache for pool decode fan-out (one per app; the
+#: binary regenerates from the fork-inherited workload cache, so only
+#: cr3s and raw bytes cross the process boundary)
+_WORKER_DECODERS: Dict[str, SoftwareDecoder] = {}
+
+
+def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes]) -> Tuple[int, int]:
+    """Decode one session's raw bytes; returns (records, functions)."""
+    app, cr3s, raw = payload
+    decoder = _WORKER_DECODERS.get(app)
+    if decoder is None:
+        decoder = SoftwareDecoder({})
+        _WORKER_DECODERS[app] = decoder
+    binary = get_workload(app).binary()
+    for cr3 in cr3s:
+        decoder.add_binary(cr3, binary)
+    decoded = decoder.decode(raw, resilient=True)
+    return len(decoded), len(decoded.function_histogram())
 
 
 @dataclass
@@ -71,6 +92,9 @@ class ClusterMaster:
         self.structured_store.create_table("traces")
         self.tasks: List[TraceTask] = []
         self._active_tasks = 0
+        #: one decoder per app, reused across tasks; new pods only extend
+        #: its cr3 mapping (SoftwareDecoder.add_binary)
+        self._decoders: Dict[str, SoftwareDecoder] = {}
 
     # -- cluster assembly --------------------------------------------------------
 
@@ -110,8 +134,29 @@ class ClusterMaster:
         self.tasks.append(task)
         return task
 
-    def reconcile(self, task: TraceTask, settle_ms: int = 50) -> TraceTask:
-        """Run the full reconciliation loop for one task."""
+    def _decoder_for(
+        self, app: str, binary, cr3s: Tuple[int, ...]
+    ) -> SoftwareDecoder:
+        """The app's shared decoder, its mapping extended to cover ``cr3s``."""
+        decoder = self._decoders.get(app)
+        if decoder is None:
+            decoder = SoftwareDecoder({})
+            self._decoders[app] = decoder
+        for cr3 in cr3s:
+            decoder.add_binary(cr3, binary)
+        return decoder
+
+    def reconcile(
+        self,
+        task: TraceTask,
+        settle_ms: int = 50,
+        pool: Optional[RunPool] = None,
+    ) -> TraceTask:
+        """Run the full reconciliation loop for one task.
+
+        ``pool`` (optional) fans the per-session decode out across
+        workers; results are identical to the sequential path.
+        """
         deployment = self.deployments.get(task.spec.app)
         if deployment is None or not deployment.pods:
             task.status.phase = TaskPhase.FAILED
@@ -175,16 +220,22 @@ class ClusterMaster:
 
         # (4) upload raw traces, decode, persist structured rows
         task.status.phase = TaskPhase.DECODING
-        # one decoder for the whole task: the binary repository mapping is
-        # shared across sessions, and the columnar decode path aggregates
-        # records/histograms without iterating them one by one
-        binary = self.binary_repository.fetch(task.spec.app)
-        decoder = SoftwareDecoder(
-            {
-                (pod.process.cr3 if pod.process is not None else 0): binary
-                for pod, _ in sessions
-            }
+        # one decoder per *app*, reused across tasks: the binary
+        # repository mapping is shared across sessions, and new pods only
+        # extend the decoder's cr3 tables instead of rebuilding them
+        app = task.spec.app
+        binary = self.binary_repository.fetch(app)
+        cr3s = tuple(
+            sorted(
+                {
+                    (pod.process.cr3 if pod.process is not None else 0)
+                    for pod, _ in sessions
+                }
+            )
         )
+        decoder = self._decoder_for(app, binary, cr3s)
+
+        uploads: List[Tuple[Pod, str, int]] = []
         for pod, session in sessions:
             if not session.stopped:
                 node = self.nodes[pod.node_name]
@@ -195,11 +246,34 @@ class ClusterMaster:
             task.status.trace_keys.append(key)
             task.status.bytes_captured += session.bytes_captured
             task.status.sessions_completed += 1
+            uploads.append((pod, key, len(raw)))
 
-            # decode off-node: raw bytes from OSS + the binary from the
-            # repository (never reaching into the worker's memory)
-            decoded = decoder.decode(self.object_store.get(key), resilient=True)
-            histogram = decoded.function_histogram()
+        # decode off-node: raw bytes from OSS + the binary from the
+        # repository (never reaching into the worker's memory).  Workers
+        # regenerate the binary from the fork-inherited workload cache, so
+        # the fan-out only ships (app, cr3s, raw bytes); it requires the
+        # repository binary to be the memoized one (always true for
+        # deploy(), not necessarily for hand-registered binaries).
+        fan_out = (
+            pool is not None
+            and pool.parallel
+            and binary is get_workload(app).binary()
+        )
+        if fan_out:
+            assert pool is not None
+            stats = pool.map(
+                _decode_session,
+                [(app, cr3s, self.object_store.get(key)) for _, key, _ in uploads],
+            )
+        else:
+            stats = []
+            for _, key, _ in uploads:
+                decoded = decoder.decode(
+                    self.object_store.get(key), resilient=True
+                )
+                stats.append((len(decoded), len(decoded.function_histogram())))
+
+        for (pod, key, raw_len), (n_records, n_functions) in zip(uploads, stats):
             self.structured_store.insert(
                 "traces",
                 [
@@ -208,9 +282,9 @@ class ClusterMaster:
                         "app": pod.app,
                         "pod": pod.uid,
                         "node": pod.node_name,
-                        "records": len(decoded),
-                        "functions": len(histogram),
-                        "bytes": len(raw),
+                        "records": n_records,
+                        "functions": n_functions,
+                        "bytes": raw_len,
                         "period_ns": plan.period_ns,
                     }
                 ],

@@ -124,6 +124,8 @@ class OperationAwareTracingController:
             tracer.attach_output(outputs[core_id])
             tracer.msr.configure(self.TRACE_FLAGS, cr3_match=target.cr3)
             self.control_ns += 4 * self.ledger.model.wrmsr_ns
+        # tracer state flipped: cached slice_tax/wants_path answers are stale
+        self.system.scheduler.invalidate_hook_cache()
 
         # (2) hook: enable-on-first-schedule-in, nothing at schedule-out
         hook = self._make_hook(session)
@@ -176,6 +178,7 @@ class OperationAwareTracingController:
         for core_id in session.plan.traced_cores:
             session.segments.extend(self.tracers[core_id].take_segments())
         session.segments.sort(key=lambda s: s.t_start)
+        self.system.scheduler.invalidate_hook_cache()
         self._cores_in_use.difference_update(session.plan.traced_cores)
         self._sessions.pop(session.session_id, None)
 
@@ -217,6 +220,7 @@ class OperationAwareTracingController:
         tracer = self.tracers[core_id]
         if not tracer.enabled:
             tracer.msr.enable()
+            self.system.scheduler.invalidate_hook_cache()
         session.enabled_cores.add(core_id)
         return self.ledger.model.wrmsr_ns
 

@@ -30,17 +30,41 @@ from repro.tracing.base import TracingScheme
 from repro.util.units import MSEC
 
 
+def _coverage_task(payload) -> dict:
+    """Pool task: run one traced execution, reduce to per-thread coverage.
+
+    Coverage is plain intervals keyed by thread label — picklable, unlike
+    the run itself — so the reference and tested runs can execute on
+    separate workers.
+    """
+    workload, scheme_name, cpuset, seed = payload
+    run = run_traced_execution(workload, scheme_name, cpuset=cpuset, seed=seed)
+    return coverage_by_thread(run.artifacts.segments, thread_labels(run.target))
+
+
 def direct_accuracy_vs_nht(
     workload: str,
-    scheme: Optional[TracingScheme] = None,
+    scheme: Optional[TracingScheme | str] = None,
     cpuset: Optional[Sequence[int]] = (0, 1, 2, 3),
     seed: int = 31,
+    pool=None,
 ) -> float:
     """Captured-path fraction of ``scheme`` (default EXIST) vs NHT.
 
     Valid for workloads whose execution is identical run-to-run
-    (compute jobs, and server loops under identical seeds).
+    (compute jobs, and server loops under identical seeds).  With a
+    ``pool`` and a scheme given by name (or defaulted), the reference
+    and tested runs execute concurrently.
     """
+    if pool is not None and (scheme is None or isinstance(scheme, str)):
+        name = scheme if isinstance(scheme, str) else "EXIST"
+        frozen = tuple(cpuset) if cpuset is not None else None
+        reference_cov, tested_cov = pool.map(
+            _coverage_task,
+            [(workload, "NHT", frozen, seed), (workload, name, frozen, seed)],
+        )
+        return direct_path_accuracy(reference_cov, tested_cov)
+
     reference = run_traced_execution(workload, "NHT", cpuset=cpuset, seed=seed)
     tested_scheme = scheme if scheme is not None else make_scheme("EXIST")
     tested = run_traced_execution(workload, tested_scheme, cpuset=cpuset, seed=seed)

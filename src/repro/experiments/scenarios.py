@@ -129,6 +129,44 @@ def run_traced_execution(
     )
 
 
+def _grid_cells(
+    workloads: Sequence[str],
+    schemes: Sequence[str],
+    node: Optional[SystemConfig],
+    cpuset: Optional[Sequence[int]],
+    seed: int,
+    scheme_kwargs: Optional[Dict[str, dict]],
+    window_s: Optional[float] = None,
+):
+    """The (workload × scheme) cell grid shared by the table helpers."""
+    from repro.parallel.matrix import MatrixCell  # lazy: avoid import cycle
+
+    kwargs = scheme_kwargs or {}
+    return [
+        MatrixCell(
+            workload=workload,
+            scheme=name,
+            seed=seed,
+            node=node,
+            cpuset=tuple(cpuset) if cpuset is not None else None,
+            window_s=window_s,
+            scheme_kwargs=tuple(sorted(kwargs.get(name, {}).items())),
+        )
+        for workload in workloads
+        for name in schemes
+    ]
+
+
+def _normalize(
+    schemes: Sequence[str], values: Sequence[float]
+) -> Dict[str, float]:
+    by_scheme = dict(zip(schemes, values))
+    oracle = by_scheme.get("Oracle")
+    if not oracle:
+        raise ValueError("schemes must include Oracle for normalization")
+    return {name: v / oracle for name, v in by_scheme.items()}
+
+
 def run_compute_slowdown(
     workload: str,
     schemes: Sequence[str] = SCHEME_ORDER,
@@ -136,24 +174,22 @@ def run_compute_slowdown(
     cpuset: Optional[Sequence[int]] = None,
     seed: int = 7,
     scheme_kwargs: Optional[Dict[str, dict]] = None,
+    pool=None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Normalized completion-time slowdowns of ``workload`` per scheme.
 
     Returns scheme -> slowdown (1.0 = Oracle).  The Figure 13 primitive.
+    Pass ``pool`` (a :class:`repro.parallel.RunPool`) or ``jobs`` to run
+    the schemes on separate workers; results are identical either way.
     """
-    kwargs = scheme_kwargs or {}
-    times: Dict[str, int] = {}
-    for name in schemes:
-        scheme = make_scheme(name, **kwargs.get(name, {}))
-        run = run_traced_execution(
-            workload, scheme, node=node, cpuset=cpuset, seed=seed
-        )
-        assert run.completion_ns is not None
-        times[name] = run.completion_ns
-    oracle = times.get("Oracle")
-    if oracle is None:
-        raise ValueError("schemes must include Oracle for normalization")
-    return {name: t / oracle for name, t in times.items()}
+    from repro.parallel.matrix import run_matrix
+
+    cells = _grid_cells([workload], schemes, node, cpuset, seed, scheme_kwargs)
+    results = run_matrix(cells, pool=pool, jobs=jobs)
+    for result in results:
+        assert result.completion_ns is not None
+    return _normalize(schemes, [r.completion_ns for r in results])
 
 
 def run_online_throughput(
@@ -164,40 +200,72 @@ def run_online_throughput(
     seed: int = 7,
     window_s: float = 0.3,
     scheme_kwargs: Optional[Dict[str, dict]] = None,
+    pool=None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Normalized throughput of ``workload`` per scheme (Figure 14).
 
     Returns scheme -> normalized throughput (1.0 = Oracle, lower = worse).
     """
-    kwargs = scheme_kwargs or {}
-    rps: Dict[str, float] = {}
-    for name in schemes:
-        scheme = make_scheme(name, **kwargs.get(name, {}))
-        run = run_traced_execution(
-            workload, scheme, node=node, cpuset=cpuset, seed=seed,
-            window_s=window_s,
-        )
-        assert run.throughput_rps is not None
-        rps[name] = run.throughput_rps
-    oracle = rps.get("Oracle")
-    if not oracle:
-        raise ValueError("schemes must include Oracle for normalization")
-    return {name: r / oracle for name, r in rps.items()}
+    from repro.parallel.matrix import run_matrix
+
+    cells = _grid_cells(
+        [workload], schemes, node, cpuset, seed, scheme_kwargs, window_s
+    )
+    results = run_matrix(cells, pool=pool, jobs=jobs)
+    for result in results:
+        assert result.throughput_rps is not None
+    return _normalize(schemes, [r.throughput_rps for r in results])
 
 
 def slowdown_table(
     workloads: Sequence[str],
     schemes: Sequence[str] = SCHEME_ORDER,
-    **kwargs,
+    node: Optional[SystemConfig] = None,
+    cpuset: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    pool=None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """workload -> scheme -> slowdown, for table-style figures."""
-    return {w: run_compute_slowdown(w, schemes, **kwargs) for w in workloads}
+    """workload -> scheme -> slowdown, for table-style figures.
+
+    The whole (workload × scheme) grid fans out at once, so parallel
+    speedup scales with the full table size, not one row at a time.
+    """
+    from repro.parallel.matrix import run_matrix
+
+    cells = _grid_cells(workloads, schemes, node, cpuset, seed, scheme_kwargs)
+    results = run_matrix(cells, pool=pool, jobs=jobs)
+    table: Dict[str, Dict[str, float]] = {}
+    n_schemes = len(schemes)
+    for index, workload in enumerate(workloads):
+        row = results[index * n_schemes : (index + 1) * n_schemes]
+        table[workload] = _normalize(schemes, [r.completion_ns for r in row])
+    return table
 
 
 def throughput_table(
     workloads: Sequence[str],
     schemes: Sequence[str] = SCHEME_ORDER,
-    **kwargs,
+    node: Optional[SystemConfig] = None,
+    cpuset: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    window_s: float = 0.3,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    pool=None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """workload -> scheme -> normalized throughput."""
-    return {w: run_online_throughput(w, schemes, **kwargs) for w in workloads}
+    from repro.parallel.matrix import run_matrix
+
+    cells = _grid_cells(
+        workloads, schemes, node, cpuset, seed, scheme_kwargs, window_s
+    )
+    results = run_matrix(cells, pool=pool, jobs=jobs)
+    table: Dict[str, Dict[str, float]] = {}
+    n_schemes = len(schemes)
+    for index, workload in enumerate(workloads):
+        row = results[index * n_schemes : (index + 1) * n_schemes]
+        table[workload] = _normalize(schemes, [r.throughput_rps for r in row])
+    return table

@@ -236,22 +236,34 @@ class SoftwareDecoder:
     """
 
     def __init__(self, binaries: Mapping[int, Binary]):
-        self._binaries = dict(binaries)
-        self._address_maps: Dict[int, Dict[int, int]] = {
-            cr3: {block.address: block.block_id for block in binary.blocks}
-            for cr3, binary in self._binaries.items()
-        }
+        self._binaries: Dict[int, Binary] = {}
+        self._address_maps: Dict[int, Dict[int, int]] = {}
         # sorted-address tables for vectorized TIP resolution:
         # cr3 -> (sorted addresses, block id per sorted slot, function ids)
         self._tables: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        for cr3, binary in self._binaries.items():
-            addresses = binary.block_addresses
-            order = np.argsort(addresses)
-            self._tables[cr3] = (
-                addresses[order],
-                order.astype(np.int64),
-                binary.block_function_ids,
-            )
+        for cr3, binary in binaries.items():
+            self.add_binary(cr3, binary)
+
+    def add_binary(self, cr3: int, binary: Binary) -> None:
+        """Register (or replace) the binary mapped at ``cr3``.
+
+        Lets one decoder be reused across tasks as new pods appear:
+        extending the mapping costs one address-table build, while the
+        tables for already-known processes stay warm.
+        """
+        if self._binaries.get(cr3) is binary:
+            return
+        self._binaries[cr3] = binary
+        self._address_maps[cr3] = {
+            block.address: block.block_id for block in binary.blocks
+        }
+        addresses = binary.block_addresses
+        order = np.argsort(addresses)
+        self._tables[cr3] = (
+            addresses[order],
+            order.astype(np.int64),
+            binary.block_function_ids,
+        )
 
     @classmethod
     def for_processes(cls, processes: Iterable[object]) -> "SoftwareDecoder":

@@ -144,6 +144,9 @@ class Scheduler:
             core.core_id: _RunQueue() for core in topology.cores
         }
         self._hooks: List[SchedulerHooks] = []
+        #: (tid, core_id) -> (tax, record_path), valid within one tracing
+        #: epoch; see invalidate_hook_cache()
+        self._hook_cache: Dict[Tuple[int, int], Tuple[float, bool]] = {}
         self.total_context_switches = 0
         self.total_migrations = 0
         #: (timestamp, cpu, pid, tid) log of switches, kept only if enabled
@@ -155,10 +158,25 @@ class Scheduler:
     def add_hooks(self, hooks: SchedulerHooks) -> None:
         """Register a tracing facility's hook surface."""
         self._hooks.append(hooks)
+        self._hook_cache.clear()
 
     def remove_hooks(self, hooks: SchedulerHooks) -> None:
         """Unregister a previously added hook surface."""
         self._hooks.remove(hooks)
+        self._hook_cache.clear()
+
+    def invalidate_hook_cache(self) -> None:
+        """Drop cached per-thread hook decisions.
+
+        ``slice_tax``/``wants_path`` answers are cached per
+        ``(tid, core_id)`` because for every scheme they are constant
+        between *tracing epochs* — the points where a facility flips
+        per-core tracer state (EXIST's OTC enabling/disabling cores,
+        schemes installing or removing).  Facilities that mutate state a
+        hook reads MUST call this at each such flip; ``add_hooks`` /
+        ``remove_hooks`` invalidate automatically.
+        """
+        self._hook_cache.clear()
 
     def enable_switch_log(self) -> None:
         """Retain a (timestamp, cpu, pid, tid) record per context switch."""
@@ -263,12 +281,18 @@ class Scheduler:
         thread.last_core = core.core_id
         core.running = thread
 
-        tax = 0.0
-        record_path = False
-        for hooks in self._hooks:
-            tax += hooks.slice_tax(thread, core)
-            record_path = record_path or hooks.wants_path(thread, core)
-        tax = min(tax, 0.95)
+        key = (thread.tid, core.core_id)
+        cached = self._hook_cache.get(key)
+        if cached is not None:
+            tax, record_path = cached
+        else:
+            tax = 0.0
+            record_path = False
+            for hooks in self._hooks:
+                tax += hooks.slice_tax(thread, core)
+                record_path = record_path or hooks.wants_path(thread, core)
+            tax = min(tax, 0.95)
+            self._hook_cache[key] = (tax, record_path)
 
         speed = self.topology.speed_factor(core, thread.process.llc_pressure)
         work_rate = speed * (1.0 - tax)

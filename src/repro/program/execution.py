@@ -102,7 +102,9 @@ class _ScriptedExecution:
         ips = self.nominal_ips * work_rate
         budget_instr = budget_ns * ips
 
-        branches_before = self.branches_cum
+        bpi = self.branch_per_instr
+        stride = self.path_model.stride
+        branches_before = self.instructions_done * bpi
         consumed_instr = 0.0
         outcome = SLICE_TIMESLICE
         syscall: Optional[str] = None
@@ -142,11 +144,11 @@ class _ScriptedExecution:
             self._on_item_complete(item)
 
         self.instructions_done += consumed_instr
-        branches_after = self.branches_cum
+        branches_after = self.instructions_done * bpi
         ran_ns = int(math.ceil(consumed_instr / ips)) if consumed_instr else 0
         event_range = (
-            int(branches_before // self.path_model.stride),
-            int(branches_after // self.path_model.stride),
+            int(branches_before // stride),
+            int(branches_after // stride),
         )
         return SliceResult(
             ran_ns=ran_ns,

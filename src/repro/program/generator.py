@@ -11,6 +11,7 @@ Generation is fully deterministic in (name, shape, seed).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,32 @@ class BinaryShape:
     )
     width_mixes: Optional[Dict[str, Dict[int, float]]] = None
     accesses_per_instruction: float = 0.35
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of the shape (dict fields canonicalized).
+
+        Two shapes with equal cache keys generate identical binaries for
+        the same (name, seed) — the memoization key of
+        :func:`generate_binary_cached`.
+        """
+        widths = None
+        if self.width_mixes is not None:
+            widths = tuple(
+                sorted(
+                    (klass, tuple(sorted(mix.items())))
+                    for klass, mix in self.width_mixes.items()
+                )
+            )
+        return (
+            self.n_functions,
+            self.blocks_per_function_mean,
+            self.instructions_per_block_mean,
+            self.indirect_branch_fraction,
+            self.call_fraction,
+            tuple(sorted((c.value, w) for c, w in self.category_weights.items())),
+            widths,
+            self.accesses_per_instruction,
+        )
 
 
 _DEFAULT_WIDTH_MIXES: Dict[str, Dict[int, float]] = {
@@ -206,6 +233,32 @@ def generate_binary(name: str, shape: BinaryShape, seed: int = 0) -> Binary:
             block.successors = tuple((t, p / total) for t, p in succs)
 
     return Binary(name=name, functions=functions, blocks=blocks)
+
+
+#: bounded LRU of generated binaries keyed by (name, shape.cache_key(), seed)
+_BINARY_CACHE: "OrderedDict[Tuple, Binary]" = OrderedDict()
+_BINARY_CACHE_MAX = 64
+
+
+def generate_binary_cached(name: str, shape: BinaryShape, seed: int = 0) -> Binary:
+    """Memoized :func:`generate_binary`.
+
+    Generation is deterministic in (name, shape, seed), and a matrix of
+    repetitions regenerates the same few binaries thousands of times —
+    this returns the *same object*, which also lets downstream
+    ``id(binary)``-keyed caches (decoders, path models) hit.  Bounded LRU;
+    callers that mutate binaries must use :func:`generate_binary`.
+    """
+    key = (name, shape.cache_key(), seed)
+    cached = _BINARY_CACHE.get(key)
+    if cached is not None:
+        _BINARY_CACHE.move_to_end(key)
+        return cached
+    binary = generate_binary(name, shape, seed)
+    _BINARY_CACHE[key] = binary
+    if len(_BINARY_CACHE) > _BINARY_CACHE_MAX:
+        _BINARY_CACHE.popitem(last=False)
+    return binary
 
 
 def execution_weighted_categories(

@@ -21,6 +21,7 @@ trace-volume accounting multiplies back up, see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Tuple
 
 import numpy as np
@@ -34,8 +35,40 @@ DEFAULT_WALK_LENGTH = 1 << 16
 DEFAULT_STRIDE = 1 << 15
 
 
+#: bounded LRU of path models keyed by (id(binary), seed, length, stride);
+#: each cached model holds a strong reference to its binary, so the id
+#: cannot be recycled while its entry is alive
+_PATH_CACHE: "OrderedDict[Tuple, PathModel]" = OrderedDict()
+_PATH_CACHE_MAX = 64
+
+
 class PathModel:
     """Precomputed CFG walk with fast per-range aggregation."""
+
+    @classmethod
+    def cached(
+        cls,
+        binary: Binary,
+        seed: int = 0,
+        length: int = DEFAULT_WALK_LENGTH,
+        stride: int = DEFAULT_STRIDE,
+    ) -> "PathModel":
+        """Memoized constructor.
+
+        The construction walk is the expensive part of spawning a
+        workload (a Python loop over the whole cycle); repetitions over
+        the same binary/seed reuse one immutable model.
+        """
+        key = (id(binary), seed, length, stride)
+        hit = _PATH_CACHE.get(key)
+        if hit is not None and hit.binary is binary:
+            _PATH_CACHE.move_to_end(key)
+            return hit
+        model = cls(binary, seed=seed, length=length, stride=stride)
+        _PATH_CACHE[key] = model
+        if len(_PATH_CACHE) > _PATH_CACHE_MAX:
+            _PATH_CACHE.popitem(last=False)
+        return model
 
     def __init__(
         self,
@@ -116,6 +149,10 @@ class PathModel:
                 current = nxt
 
         self.walk = walk
+        # doubled copy: any sub-cycle range [start, end) is one contiguous
+        # slice of _walk2, so events() returns a view instead of
+        # concatenating around the wrap point
+        self._walk2 = np.concatenate([walk, walk])
         block_instr = np.array([b.n_instructions for b in blocks], dtype=np.int64)
         block_func = np.array([b.function_id for b in blocks], dtype=np.int32)
         self.event_instructions = block_instr[walk]
@@ -145,10 +182,7 @@ class PathModel:
             # frequency-based, extra repetitions add no information)
             return self.walk
         lo = start % self.length
-        hi = end % self.length
-        if lo <= hi and end - start == hi - lo:
-            return self.walk[lo:hi]
-        return np.concatenate([self.walk[lo:], self.walk[:hi]])
+        return self._walk2[lo : lo + (end - start)]
 
     def visit_counts(self, start: int, end: int) -> np.ndarray:
         """Per-block visit counts over event range [start, end)."""

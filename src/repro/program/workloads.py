@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.program.binary import Binary, FunctionCategory as FC
 from repro.program.execution import ProgramExecution, ServerLoopExecution
-from repro.program.generator import BinaryShape, generate_binary
+from repro.program.generator import BinaryShape, generate_binary_cached
 from repro.program.path import PathModel
 from repro.util.rng import derive_seed
 from repro.util.units import SEC
@@ -194,24 +194,14 @@ class WorkloadProfile:
         )
 
 
-_BINARIES: Dict[str, Binary] = {}
-_PATHS: Dict[str, PathModel] = {}
-
-
 def _binary_cache(profile: WorkloadProfile) -> Binary:
-    binary = _BINARIES.get(profile.name)
-    if binary is None:
-        binary = generate_binary(profile.name, profile.shape(), seed=1234)
-        _BINARIES[profile.name] = binary
-    return binary
+    # keyed by (name, shape, seed) in the generator's LRU, so variants
+    # that change shape-affecting fields no longer collide on the name
+    return generate_binary_cached(profile.name, profile.shape(), seed=1234)
 
 
 def _path_cache(profile: WorkloadProfile) -> PathModel:
-    path = _PATHS.get(profile.name)
-    if path is None:
-        path = PathModel(_binary_cache(profile), seed=1234)
-        _PATHS[profile.name] = path
-    return path
+    return PathModel.cached(_binary_cache(profile), seed=1234)
 
 
 # ---------------------------------------------------------------------------
@@ -500,7 +490,8 @@ def realworld_workloads(include_case_study: bool = False) -> List[WorkloadProfil
 def variant(profile: WorkloadProfile, **overrides) -> WorkloadProfile:
     """A copy of ``profile`` with fields overridden (kept out of WORKLOADS).
 
-    Variants share the base profile's binary/path caches only when the
-    name is unchanged; rename when changing shape-affecting fields.
+    Binary/path memoization keys on (name, shape, seed), so a variant
+    shares the base profile's cached artifacts exactly when its shape is
+    unchanged — shape-affecting overrides get their own cache entries.
     """
     return replace(profile, **overrides)

@@ -1,0 +1,45 @@
+"""Uniform benchmark-report writer.
+
+Every benchmark that records a perf trajectory (``BENCH_codec.json``,
+``BENCH_sim.json``) writes the same schema so regressions can be diffed
+mechanically across PRs::
+
+    {
+      "name":      "<benchmark name>",
+      "metrics":   { ... flat numbers the benchmark measured ... },
+      "env":       {"python": ..., "platform": ..., "cpu_count": ...},
+      "timestamp": "2026-01-01T00:00:00+00:00"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+
+def bench_env() -> Dict[str, object]:
+    """The environment fields every benchmark report carries."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench(
+    path: Union[str, Path], name: str, metrics: Mapping[str, object]
+) -> Dict[str, object]:
+    """Write one benchmark report in the uniform schema; returns it."""
+    report = {
+        "name": name,
+        "metrics": dict(metrics),
+        "env": bench_env(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+    return report

@@ -72,6 +72,64 @@ class TestCancellation:
         assert sim.peek_time() == 10
 
 
+class TestTombstones:
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(t, lambda: None) for t in range(10)]
+        assert sim.pending_count == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_count == 6
+        sim.run_until_idle()
+        assert sim.pending_count == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        event.cancel()
+        event.cancel()  # second cancel must not double-count the tombstone
+        assert sim.pending_count == 1
+        sim.run_until_idle()
+        assert sim.events_fired == 1
+
+    def test_compaction_drops_majority_tombstones(self):
+        sim = Simulator()
+        events = [sim.schedule(t, lambda: None) for t in range(128)]
+        for event in events[:100]:
+            event.cancel()
+        # once tombstones outnumber live entries the heap is rebuilt in
+        # place, so it cannot still hold all 100 cancelled events.
+        assert len(sim._heap) < 100
+        assert sim.pending_count == 28
+        fired = sim.run_until_idle()
+        assert fired == 28
+
+    def test_small_heaps_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(t, lambda: None) for t in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # below the 64-entry floor compaction never runs; lazy deletion
+        # still yields the right answer.
+        assert len(sim._heap) == 10
+        assert sim.pending_count == 1
+        assert sim.run_until_idle() == 1
+
+    def test_order_preserved_after_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for t in range(200):
+            event = sim.schedule(t, lambda t=t: fired.append(t))
+            if t % 3:
+                keep.append(t)
+            else:
+                event.cancel()
+        sim.run_until_idle()
+        assert fired == keep
+
+
 class TestRunUntil:
     def test_advances_clock_to_deadline(self):
         sim = Simulator()
