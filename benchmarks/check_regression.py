@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares freshly produced benchmark reports (``BENCH_codec.json``,
+``BENCH_sim.json`` — the uniform schema of :mod:`repro.util.bench`)
+against the committed baselines in ``benchmarks/baselines/`` and fails
+when any *throughput* metric regressed by more than the threshold.
+
+Throughput metrics are recognized by suffix: ``*_mb_s`` and ``*_per_s``
+(higher is better).  Ratio metrics (``*_speedup``) and raw sizes/counts
+are reported but never gate — they move with CI hardware in ways
+absolute throughput already captures.
+
+Usage (what the CI full lane runs after regenerating the benches)::
+
+    python benchmarks/check_regression.py BENCH_codec.json BENCH_sim.json
+
+Exit code 0 = within budget, 1 = regression, 2 = usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric-name suffixes gated as higher-is-better throughput
+THROUGHPUT_SUFFIXES = ("_mb_s", "_per_s")
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_report(path: Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: report {path} not found (exit 2)") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc} (exit 2)") from None
+    if "metrics" not in report:
+        raise SystemExit(f"error: {path} has no 'metrics' block (exit 2)")
+    return report
+
+
+def gated_metrics(metrics: dict) -> dict:
+    return {
+        key: value
+        for key, value in metrics.items()
+        if key.endswith(THROUGHPUT_SUFFIXES) and isinstance(value, (int, float))
+    }
+
+
+def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
+    """Compare one fresh report against its baseline; returns failures."""
+    fresh = load_report(fresh_path)
+    if not baseline_path.exists():
+        print(f"  [warn] no baseline {baseline_path}; skipping gate")
+        return []
+    baseline = load_report(baseline_path)
+    failures = []
+    fresh_metrics = gated_metrics(fresh["metrics"])
+    baseline_metrics = gated_metrics(baseline["metrics"])
+    for key in sorted(baseline_metrics):
+        base = baseline_metrics[key]
+        if base <= 0:
+            continue
+        current = fresh_metrics.get(key)
+        if current is None:
+            failures.append((key, base, None, "metric disappeared"))
+            print(f"  [FAIL] {key}: present in baseline, missing in fresh report")
+            continue
+        ratio = current / base
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "FAIL"
+            failures.append((key, base, current, f"{ratio:.2f}x of baseline"))
+        print(
+            f"  [{status:>4}] {key}: {current:g} vs baseline {base:g}"
+            f" ({ratio:.2f}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "reports", nargs="+",
+        help="fresh benchmark JSON files (e.g. BENCH_codec.json)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(Path(__file__).parent / "baselines"),
+        help="directory holding committed baseline reports (same filenames)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="maximum tolerated fractional throughput drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        print("error: --threshold must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    baseline_dir = Path(args.baseline_dir)
+    all_failures = []
+    for report in args.reports:
+        fresh_path = Path(report)
+        baseline_path = baseline_dir / fresh_path.name
+        print(f"{fresh_path.name} (threshold: -{args.threshold:.0%}):")
+        all_failures.extend(
+            check_pair(fresh_path, baseline_path, args.threshold)
+        )
+    if all_failures:
+        print(
+            f"\nREGRESSION: {len(all_failures)} throughput metric(s) fell "
+            f"more than {args.threshold:.0%} below baseline"
+        )
+        return 1
+    print("\nall throughput metrics within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,6 @@ Ablated here on the same substrate and workload:
 * ``NHT``              — neither (per-switch control + draining).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

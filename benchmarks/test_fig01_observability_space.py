@@ -13,7 +13,6 @@ can score well here; what they lack is chronology, which this figure's
 axis abstracts as the method's information class).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.accuracy import (

@@ -10,7 +10,6 @@ neighbour (so A never gets a free tail once B finishes).  A is measured
 by completion time, B by throughput over A's run.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

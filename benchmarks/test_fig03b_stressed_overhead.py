@@ -9,7 +9,6 @@ Load levels map to bottleneck utilization (the paper's Load=1e2..1e5 spans
 idle to near-saturation on their testbed).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -12,14 +12,13 @@ outside its fidelity envelope (the LLC interference model captures their
 throughput effect instead — see EXPERIMENTS.md).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
 from repro.experiments.scenarios import make_scheme
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload, variant
-from repro.util.units import MSEC, SEC
+from repro.util.units import MSEC
 
 SCENARIOS = ("Exclusive A", "Shared A with B", "Shared A with B and C")
 WINDOW = 800 * MSEC

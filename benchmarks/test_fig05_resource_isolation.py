@@ -11,7 +11,6 @@ Share Core (neighbour time-sharing the same logical cores), Share LLC
 adds NHT tracing of mysql.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
@@ -37,7 +36,6 @@ def run_case(scenario: str, traced: bool, seed=7):
         neighbour.spawn(system, cpuset=[2, 3], seed=seed + 1)  # same socket
     if traced:
         make_scheme("NHT").install(system, [target])
-    before = system.process_requests(target)
     system.run_for(50 * MSEC)
     mid = system.process_requests(target)
     system.run_for(WINDOW)

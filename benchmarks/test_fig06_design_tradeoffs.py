@@ -15,12 +15,11 @@ time efficiency as throughput slowdown, space as retained trace bytes,
 coverage as the time span of the retained trace.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
-from repro.experiments.scenarios import make_scheme, run_traced_execution
-from repro.util.units import KIB, MIB, MSEC
+from repro.experiments.scenarios import run_traced_execution
+from repro.util.units import MIB
 
 SCHEMES = ["REPT", "Griffin", "NHT", "EXIST"]
 WINDOW_S = 0.4

@@ -8,7 +8,6 @@ operations than an order-of-seconds control period would.
 
 from collections import defaultdict
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -7,15 +7,11 @@ assuming free headroom.
 """
 
 import numpy as np
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
-from repro.cluster.node import ClusterNode
-from repro.kernel.system import SystemConfig
 from repro.program.workloads import WORKLOADS, realworld_workloads
 from repro.util.rng import RngFactory
-from repro.util.units import MIB
 
 
 NODE_MEMORY_MB = 384 * 1024  # the paper's SkyLake online node

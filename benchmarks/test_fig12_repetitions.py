@@ -9,7 +9,6 @@ different phase of the behaviour cycle; EXIST traces each, and we merge
 coverage across 1..5 repetitions.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.accuracy import (

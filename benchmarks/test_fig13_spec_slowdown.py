@@ -10,7 +10,6 @@ draining), so the EXIST-vs-NHT gap is the contribution of the paper's
 node-level design.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

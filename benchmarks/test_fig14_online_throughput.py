@@ -6,7 +6,6 @@ sensitive than compute ones because per-request context switches multiply
 the baselines' control costs.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

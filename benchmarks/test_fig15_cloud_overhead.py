@@ -9,7 +9,6 @@ Low load = the service alone on the node; high load = co-located with two
 stress neighbours (the shared-and-stressed regime).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
@@ -85,7 +84,7 @@ def test_fig15_cloud_overhead(benchmark):
         scheme: sum(low for low, _ in pairs) / len(pairs)
         for scheme, pairs in overheads.items()
     }
-    emit(f"average low-load CPI overheads: "
+    emit("average low-load CPI overheads: "
          + ", ".join(f"{s}={v:.2%}" for s, v in avg.items()))
 
     # EXIST stays in the low single digits on every app and condition

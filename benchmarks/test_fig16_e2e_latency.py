@@ -9,7 +9,6 @@ Search1 (kernel simulator) feeds the queueing model of the Search1
 request chain (proxy → Search1 → ranker).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -6,7 +6,6 @@ management pod consumes <3e-3 cores and ~40 MB; expanded to a
 thousand-node cluster the management overhead stays below 1 permille.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -10,7 +10,6 @@ average accuracy for 0.1 s / 0.5 s / 1 s tracing periods across
 Search1/Search2/Cache/Pred/Agent.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -14,7 +14,6 @@ before the compulsory stop than spreading the budget thin over all
 mapped cores.  This is the per-core-buffer ablation DESIGN.md calls out.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.accuracy import (

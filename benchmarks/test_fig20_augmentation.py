@@ -7,7 +7,6 @@ removes redundancy while complementing the missing ranges.  No extra
 node-level cost is incurred.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.accuracy import weight_matching_accuracy

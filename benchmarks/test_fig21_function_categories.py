@@ -13,7 +13,6 @@ packets, decoded against the binary, and the reports are computed from
 the reconstruction.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.casestudy import function_category_report

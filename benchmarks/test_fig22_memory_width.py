@@ -7,7 +7,6 @@ precision in high-throughput inference serving, while traditional apps
 skew to 8-byte accesses.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.casestudy import memory_width_report

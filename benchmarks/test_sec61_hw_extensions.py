@@ -12,7 +12,6 @@ predictions can be *measured*:
   with per-core design" when load is imbalanced.
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.accuracy import (

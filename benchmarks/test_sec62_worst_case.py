@@ -10,12 +10,10 @@ probes the corners that drive EXIST's worst case on this substrate:
 * heavy oversubscription (hook fires at a huge context-switch rate).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
 from repro.core.exist import ExistScheme
-from repro.experiments.scenarios import run_traced_execution
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload, variant
 from repro.util.units import MSEC, SEC

@@ -7,7 +7,6 @@ most instrumentation-based systems (whose numbers come from their papers
 since those systems are not publicly reproducible).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table

@@ -6,7 +6,6 @@ compute and up to ~1.2 GB on multi-threaded xz, EXIST capped below NHT by
 the UMA buffer budget (~55 MB compute, ~456 MB xz).
 """
 
-import pytest
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
@@ -14,7 +13,7 @@ from repro.core.exist import ExistScheme
 from repro.experiments.scenarios import make_scheme
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload
-from repro.util.units import MIB, MSEC, SEC
+from repro.util.units import MIB, MSEC
 
 WORKLOADS = ["pb", "gcc", "mcf", "om", "xa", "x264", "de", "le", "ex", "xz",
              "mc", "ng", "ms"]

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 from repro import ExistScheme, KernelSystem, SystemConfig, get_workload
 from repro.analysis.reconstruct import reconstruct
-from repro.util.units import MIB, MSEC, SEC, fmt_bytes, fmt_time
+from repro.util.units import MSEC, SEC, fmt_bytes, fmt_time
 
 
 def main() -> None:

@@ -16,7 +16,7 @@ Two metrics, matching the paper's two settings:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

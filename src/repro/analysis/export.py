@@ -16,7 +16,7 @@ on-call engineers (§3.1).  Two concrete renderings:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ and traces can localize precisely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.hwtrace.tracer import TraceSegment
 from repro.util.units import MSEC

@@ -13,8 +13,8 @@ workload's threads are created in a fixed order with stable names
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
 
 from repro.core.rco import Interval, merge_intervals
 from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace

@@ -23,7 +23,7 @@ from repro.analysis.tables import format_table
 from repro.kernel.task import Process
 from repro.program.binary import ACCESS_WIDTHS
 from repro.tracing.base import SchemeArtifacts
-from repro.util.units import MIB, USEC, fmt_bytes, fmt_time
+from repro.util.units import USEC, fmt_bytes, fmt_time
 
 
 def build_session_report(

@@ -13,7 +13,10 @@ Commands:
 * ``compare``   — run several schemes on one workload and print the
   overhead/space comparison;
 * ``cluster``   — deploy an app on a small cluster and reconcile a
-  TraceTask CRD through the full control/data flow.
+  TraceTask CRD through the full control/data flow (optionally under an
+  injected ``--faults`` plan, printing the degradation summary);
+* ``chaos-sweep`` — run the seeded chaos scenario across fault seeds and
+  aggregate the graceful-degradation accounting.
 """
 
 from __future__ import annotations
@@ -130,7 +133,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterMaster, ClusterNode, TraceTaskSpec
     from repro.core.config import TraceReason
+    from repro.faults import FaultPlan
 
+    plan = None
+    if args.faults:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        if not plan:
+            plan = None
     master = ClusterMaster(seed=args.seed)
     for index in range(args.nodes):
         master.add_node(ClusterNode(f"node-{index:02d}", seed=index))
@@ -144,9 +153,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         from repro.parallel import RunPool
 
         with RunPool(max_workers=args.jobs) as pool:
-            master.reconcile(task, pool=pool)
+            master.reconcile(task, pool=pool, faults=plan)
     else:
-        master.reconcile(task)
+        master.reconcile(task, faults=plan)
     print(f"task {task.name}: {task.status.phase.value}")
     print(f"  repetitions traced: {task.status.sessions_completed}/{args.replicas}")
     print(f"  period:             {fmt_time(task.status.period_ns)}")
@@ -158,9 +167,46 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         headers=["pod", "node", "decoded records", "functions"],
         title="structured-store rows",
     ))
+    report = task.status.degradation
+    if report is not None and (plan is not None or report.degraded):
+        print(f"degradation: {report.summary()}")
+    if args.degradation_json and report is not None:
+        with open(args.degradation_json, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"degradation report written to {args.degradation_json}")
     footprint = master.management_footprint()
     print(f"management pod: {footprint.cpu_cores:.1e} cores, "
           f"{footprint.memory_mb:.0f} MB")
+    return 0
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.scenarios import chaos_sweep
+
+    sweep = chaos_sweep(
+        fault_seeds=list(range(args.seeds)),
+        faults=args.faults,
+        app=args.app,
+        nodes=args.nodes,
+        replicas=args.replicas,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    phases = ", ".join(
+        f"{phase}={count}" for phase, count in sorted(sweep["phases"].items())
+    )
+    print(f"chaos sweep: {args.seeds} seeds of '{sweep['faults']}'")
+    print(f"  phases:         {phases}")
+    print(f"  mean coverage:  {sweep['mean_coverage_fraction']:.1%}")
+    print(f"  bytes dropped:  {fmt_bytes(sweep['total_bytes_dropped'])}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(sweep, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep report written to {args.json}")
     return 0
 
 
@@ -206,6 +252,36 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=7)
     cluster.add_argument("--jobs", type=int, default=1,
                          help="worker processes for trace decoding")
+    cluster.add_argument(
+        "--faults", default="",
+        help="fault plan: preset name ('chaos') or comma-separated "
+             "kind[:magnitude][@at_fraction][/target] specs",
+    )
+    cluster.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the fault plan's randomness")
+    cluster.add_argument(
+        "--degradation-json", default="",
+        help="write the task's DegradationReport JSON to this path",
+    )
+
+    chaos = sub.add_parser(
+        "chaos-sweep",
+        help="run the seeded chaos scenario across fault seeds",
+    )
+    chaos.add_argument("--app", default="Search1", choices=sorted(WORKLOADS))
+    chaos.add_argument("--faults", default="chaos",
+                       help="fault plan (preset or spec string)")
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="number of fault seeds to sweep (0..N-1)")
+    chaos.add_argument("--nodes", type=int, default=3)
+    chaos.add_argument("--replicas", type=int, default=None,
+                       help="pods of the app (default: one per node)")
+    chaos.add_argument("--seed", type=int, default=11,
+                       help="cluster/workload seed")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for trace decoding")
+    chaos.add_argument("--json", default="",
+                       help="write the sweep report JSON to this path")
     return parser
 
 
@@ -214,6 +290,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "compare": _cmd_compare,
     "cluster": _cmd_cluster,
+    "chaos-sweep": _cmd_chaos_sweep,
 }
 
 

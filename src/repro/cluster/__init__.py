@@ -15,7 +15,7 @@ from repro.cluster.pod import Pod, PodPhase
 from repro.cluster.node import ClusterNode
 from repro.cluster.crd import TraceTask, TraceTaskSpec, TraceTaskStatus, TaskPhase
 from repro.cluster.storage import ObjectStore, StructuredStore
-from repro.cluster.master import ClusterMaster, Deployment
+from repro.cluster.master import ClusterMaster, Deployment, RetryPolicy
 from repro.cluster.detector import AnomalyTrigger, MetricMonitor, AnomalyEvent
 from repro.cluster.campaign import ProfilingCampaign
 
@@ -31,6 +31,7 @@ __all__ = [
     "StructuredStore",
     "ClusterMaster",
     "Deployment",
+    "RetryPolicy",
     "AnomalyTrigger",
     "MetricMonitor",
     "AnomalyEvent",

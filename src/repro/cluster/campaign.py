@@ -65,11 +65,14 @@ class ProfilingCampaign:
 
     # -- one campaign round -------------------------------------------------------
 
-    def run_round(self, pool=None) -> List[TraceTask]:
+    def run_round(self, pool=None, faults=None) -> List[TraceTask]:
         """Profile as many due apps as the round budget allows.
 
         ``pool`` (a :class:`repro.parallel.RunPool`) is forwarded to each
-        reconcile's decode fan-out.
+        reconcile's decode fan-out; ``faults`` (a
+        :class:`repro.faults.FaultPlan`) arms fault injection on every
+        reconcile of the round — degraded tasks still contribute whatever
+        coverage their salvaged sessions delivered.
         """
         spent = 0.0
         submitted: List[TraceTask] = []
@@ -86,7 +89,7 @@ class ProfilingCampaign:
                 period_ns=self.period_ns,
                 requester="profiling-campaign",
             ))
-            self.master.reconcile(task, pool=pool)
+            self.master.reconcile(task, pool=pool, faults=faults)
             submitted.append(task)
             self._record(app, task)
         self.rounds_run += 1
@@ -104,7 +107,7 @@ class ProfilingCampaign:
         progress = self.progress[app]
         progress.rounds += 1
         progress.tasks.append(task)
-        if task.status.phase is not TaskPhase.COMPLETE:
+        if task.status.phase not in (TaskPhase.COMPLETE, TaskPhase.DEGRADED):
             return
         deployment = self.master.deployments[app]
         pods_by_uid = {pod.uid: pod for pod in deployment.pods}

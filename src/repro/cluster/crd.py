@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import TraceReason
+from repro.faults.report import DegradationReport
 
 _task_counter = itertools.count(1)
 
@@ -27,6 +28,9 @@ class TaskPhase(enum.Enum):
     TRACING = "Tracing"
     DECODING = "Decoding"
     COMPLETE = "Complete"
+    #: completed with loss: partial coverage and/or dropped data, with a
+    #: DegradationReport attached — never a silently-wrong merge
+    DEGRADED = "Degraded"
     FAILED = "Failed"
 
 
@@ -82,6 +86,12 @@ class TraceTaskStatus:
     #: object-store keys of uploaded raw traces
     trace_keys: List[str] = field(default_factory=list)
     message: str = ""
+    #: spatial coverage the controller asked for vs delivered (§3.4)
+    coverage_requested: int = 0
+    coverage_achieved: int = 0
+    #: loss accounting attached by the controller (always set after a
+    #: reconcile reaches the tracing stage, even fault-free)
+    degradation: Optional[DegradationReport] = None
 
 
 @dataclass
@@ -95,3 +105,8 @@ class TraceTask:
     @property
     def complete(self) -> bool:
         return self.status.phase is TaskPhase.COMPLETE
+
+    @property
+    def finished(self) -> bool:
+        """Reconciled to a usable (possibly degraded) result."""
+        return self.status.phase in (TaskPhase.COMPLETE, TaskPhase.DEGRADED)

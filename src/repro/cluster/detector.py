@@ -12,7 +12,7 @@ tracing sessions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cluster.crd import TraceTask, TraceTaskSpec

@@ -12,19 +12,30 @@ control and data flows end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
-from repro.cluster.node import ClusterNode
+from repro.cluster.node import (
+    STOP_NODE_CRASH,
+    STOP_POD_KILLED,
+    ClusterNode,
+)
 from repro.cluster.pod import Pod
 from repro.cluster.storage import BinaryRepository, ObjectStore, StructuredStore
-from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.core.config import ExistConfig, TracingRequest
 from repro.core.otc import TracingSession
-from repro.core.rco import Repetition, RepetitionAwareCoverageOptimizer
+from repro.core.rco import (
+    CoverageMetric,
+    Repetition,
+    RepetitionAwareCoverageOptimizer,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.report import DegradationReport
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
 from repro.parallel.pool import RunPool
 from repro.program.workloads import WorkloadProfile, get_workload
-from repro.util.units import MIB, MSEC, SEC
+from repro.util.units import MIB, MSEC
 
 
 #: worker-local decoder cache for pool decode fan-out (one per app; the
@@ -33,8 +44,15 @@ from repro.util.units import MIB, MSEC, SEC
 _WORKER_DECODERS: Dict[str, SoftwareDecoder] = {}
 
 
-def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes]) -> Tuple[int, int]:
-    """Decode one session's raw bytes; returns (records, functions)."""
+def _decode_session(
+    payload: Tuple[str, Tuple[int, ...], bytes],
+) -> Tuple[int, int, int, int]:
+    """Decode one session's raw bytes.
+
+    Returns (records, functions, resyncs, bytes_skipped) — everything the
+    degradation accounting needs, so pooled and sequential decode paths
+    produce identical reports.
+    """
     app, cr3s, raw = payload
     decoder = _WORKER_DECODERS.get(app)
     if decoder is None:
@@ -44,7 +62,32 @@ def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes]) -> Tuple[int, i
     for cr3 in cr3s:
         decoder.add_binary(cr3, binary)
     decoded = decoder.decode(raw, resilient=True)
-    return len(decoded), len(decoded.function_histogram())
+    return (
+        len(decoded),
+        len(decoded.function_histogram()),
+        decoded.resyncs,
+        decoded.bytes_skipped,
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard reconciliation fights back against faults.
+
+    A reconcile runs in *waves*: the initial attempt plus up to
+    ``max_waves - 1`` retries.  Between waves the master backs off in
+    virtual time (exponentially), restarts crashed nodes when allowed,
+    quarantines nodes that failed ``quarantine_threshold`` times, and
+    asks RCO's spatial sampler for replacement replicas.
+    """
+
+    max_waves: int = 3
+    backoff_base_ms: int = 25
+    #: extra virtual time granted to a session still running after its
+    #: window, before the master force-stops it
+    straggler_timeout_ms: int = 200
+    quarantine_threshold: int = 2
+    restart_crashed_nodes: bool = True
 
 
 @dataclass
@@ -146,22 +189,67 @@ class ClusterMaster:
             decoder.add_binary(cr3, binary)
         return decoder
 
+    @staticmethod
+    def _dedupe_per_node(selected: Sequence[Repetition]) -> List[Repetition]:
+        """One traced pod per (app, node): a node facility runs at most
+        one session per core set, and CPU-share pods map to every core."""
+        seen_nodes = set()
+        deduped = []
+        for repetition in sorted(selected, key=lambda r: r.node):
+            if repetition.node in seen_nodes:
+                continue
+            seen_nodes.add(repetition.node)
+            deduped.append(repetition)
+        return deduped
+
+    @staticmethod
+    def _register_node_failure(
+        name: str,
+        node_failures: Dict[str, int],
+        quarantined: Set[str],
+        policy: RetryPolicy,
+        report: DegradationReport,
+    ) -> None:
+        """Count one node failure; quarantine past the policy threshold."""
+        node_failures[name] = node_failures.get(name, 0) + 1
+        if (
+            node_failures[name] >= policy.quarantine_threshold
+            and name not in quarantined
+        ):
+            quarantined.add(name)
+            report.note(
+                f"quarantined {name} after {node_failures[name]} failures"
+            )
+
     def reconcile(
         self,
         task: TraceTask,
         settle_ms: int = 50,
         pool: Optional[RunPool] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> TraceTask:
         """Run the full reconciliation loop for one task.
 
         ``pool`` (optional) fans the per-session decode out across
         workers; results are identical to the sequential path.
+        ``faults`` (optional) arms a seeded :class:`FaultPlan` against
+        the run; the reconcile then *degrades* instead of failing —
+        retrying in waves per ``retry_policy``, resampling replacement
+        replicas, salvaging partial windows, and attaching a
+        :class:`DegradationReport` with the honest loss accounting.
         """
+        policy = retry_policy or RetryPolicy()
         deployment = self.deployments.get(task.spec.app)
         if deployment is None or not deployment.pods:
             task.status.phase = TaskPhase.FAILED
             task.status.message = f"app {task.spec.app!r} not deployed"
             return task
+
+        injector = FaultInjector(faults) if faults else None
+        report = (
+            injector.report if injector is not None else DegradationReport()
+        )
 
         # (1) RCO decides repetitions and period
         repetitions = [
@@ -183,70 +271,173 @@ class ClusterMaster:
         selected = plan.selected
         if task.spec.max_repetitions is not None:
             selected = selected[: task.spec.max_repetitions]
-        # one traced pod per (app, node): a node facility runs at most one
-        # session per core set, and CPU-share pods map to every core
-        seen_nodes = set()
-        deduped = []
-        for repetition in selected:
-            if repetition.node in seen_nodes:
-                continue
-            seen_nodes.add(repetition.node)
-            deduped.append(repetition)
-        selected = deduped
+        selected = self._dedupe_per_node(selected)
+        coverage_requested = len(selected)
         task.status.period_ns = plan.period_ns
         task.status.selected_pods = [r.pod_uid for r in selected]
         task.status.phase = TaskPhase.SCHEDULED
         self._active_tasks += 1
 
-        # (2) start node sessions
+        # (2+3) trace in waves: attempt, classify, retry with replacements
         pods_by_uid = {pod.uid: pod for pod in deployment.pods}
-        sessions: List[Tuple[Pod, TracingSession]] = []
-        for repetition in selected:
-            pod = pods_by_uid[repetition.pod_uid]
-            node = self.nodes[pod.node_name]
-            node_request = TracingRequest(
-                target=pod.app,
-                reason=task.spec.reason,
-                period_ns=plan.period_ns,
-                requester=task.spec.requester,
-            )
-            sessions.append((pod, node.trace_pod(pod, node_request)))
-        task.status.phase = TaskPhase.TRACING
-
-        # (3) drive the traced nodes through the window
+        rep_by_uid = {r.pod_uid: r for r in repetitions}
         window = plan.period_ns + settle_ms * MSEC
-        for node_name in {pod.node_name for pod, _ in sessions}:
-            self.nodes[node_name].run_for(window)
+        attempted: Set[str] = set()
+        quarantined: Set[str] = set()
+        crashed_seen: Set[str] = set()
+        node_failures: Dict[str, int] = {}
+        achieved = 0
+        #: (node, pod, session, label, salvaged) rows ready for upload
+        completed: List[
+            Tuple[ClusterNode, Pod, TracingSession, str, bool]
+        ] = []
+        pending = list(selected)
+        wave = 0
+        while pending and wave < policy.max_waves:
+            if wave > 0:
+                report.retry_waves += 1
+            # restart crashed nodes feeding this wave (kubelet reboots)
+            for name in sorted(
+                {pods_by_uid[r.pod_uid].node_name for r in pending}
+            ):
+                node = self.nodes[name]
+                if (
+                    not node.alive
+                    and policy.restart_crashed_nodes
+                    and name not in quarantined
+                ):
+                    node.restart()
+                    report.nodes_restarted += 1
+                    report.note(f"restarted {name}")
 
-        # (4) upload raw traces, decode, persist structured rows
+            participants: List[
+                Tuple[ClusterNode, Pod, TracingSession, str]
+            ] = []
+            for repetition in pending:
+                pod = pods_by_uid[repetition.pod_uid]
+                node = self.nodes[pod.node_name]
+                attempted.add(pod.uid)
+                label = f"{pod.node_name}/{pod.app}#w{wave}"
+                node_request = TracingRequest(
+                    target=pod.app,
+                    reason=task.spec.reason,
+                    period_ns=plan.period_ns,
+                    requester=task.spec.requester,
+                )
+                try:
+                    session = node.trace_pod(pod, node_request)
+                except RuntimeError:
+                    cause = "node down" if not node.alive else "pod not running"
+                    self._register_node_failure(
+                        node.name, node_failures, quarantined, policy, report
+                    )
+                    report.note(f"session start failed on {label}: {cause}")
+                    continue
+                participants.append((node, pod, session, label))
+            task.status.phase = TaskPhase.TRACING
+
+            if injector is not None:
+                injector.begin_wave(wave, participants, window)
+            for node, _, _, _ in participants:
+                node.run_for(window)
+            # stragglers: grant extra time, then force-stop survivors
+            for node, pod, session, label in participants:
+                if not session.stopped and node.alive:
+                    node.run_for(policy.straggler_timeout_ms * MSEC)
+                if not session.stopped and node.alive:
+                    node.facility.stop_tracing(session, "reconcile-timeout")
+            if injector is not None:
+                injector.end_wave()
+
+            # classify wave outcomes
+            retryable: List[Repetition] = []
+            for node, pod, session, label in participants:
+                if not node.alive and node.name not in crashed_seen:
+                    crashed_seen.add(node.name)
+                    report.nodes_crashed += 1
+                    report.note(f"{node.name} crashed mid-window")
+                if session.stop_reason == STOP_NODE_CRASH:
+                    # trace bytes lived in node DRAM: unrecoverable, but
+                    # the replica itself comes back with the node reboot
+                    report.sessions_abandoned += 1
+                    report.note(f"abandoned {label}: node crash")
+                    self._register_node_failure(
+                        node.name, node_failures, quarantined, policy, report
+                    )
+                    if policy.restart_crashed_nodes:
+                        retryable.append(rep_by_uid[pod.uid])
+                elif session.stop_reason == STOP_POD_KILLED:
+                    # facility survived: salvage the partial window
+                    report.pods_killed += 1
+                    report.sessions_degraded += 1
+                    report.note(f"salvaged partial window of {label}")
+                    completed.append((node, pod, session, label, True))
+                else:
+                    achieved += 1
+                    completed.append((node, pod, session, label, False))
+
+            need = coverage_requested - achieved
+            if need <= 0:
+                break
+            wave += 1
+            if wave >= policy.max_waves:
+                break
+            # exponential backoff before the retry wave (virtual time)
+            backoff_ns = policy.backoff_base_ms * (2 ** (wave - 1)) * MSEC
+            for name in sorted(self.nodes):
+                if self.nodes[name].alive:
+                    self.nodes[name].run_for(backoff_ns)
+            # RCO resamples replacement replicas (§3.4), avoiding pods
+            # already tried and anything on a quarantined node
+            exclude = set(attempted)
+            exclude.update(
+                pod.uid
+                for pod in deployment.pods
+                if pod.node_name in quarantined
+            )
+            replacements = self.rco.spatial.resample(
+                repetitions, need, exclude=exclude
+            )
+            replacements = list(replacements) + [
+                r for r in retryable if r.node not in quarantined
+            ]
+            pending = self._dedupe_per_node(replacements)
+            if pending:
+                report.note(
+                    f"wave {wave}: retrying {len(pending)} replacements"
+                )
+
+        # (4) upload raw traces (mangled by the injector if the plan says
+        # so — before the store, so every decode path sees the same
+        # bytes), decode, persist structured rows
         task.status.phase = TaskPhase.DECODING
-        # one decoder per *app*, reused across tasks: the binary
-        # repository mapping is shared across sessions, and new pods only
-        # extend the decoder's cr3 tables instead of rebuilding them
         app = task.spec.app
         binary = self.binary_repository.fetch(app)
         cr3s = tuple(
-            sorted(
-                {
-                    (pod.process.cr3 if pod.process is not None else 0)
-                    for pod, _ in sessions
-                }
-            )
+            sorted({session.target.cr3 for _, _, session, _, _ in completed})
         )
         decoder = self._decoder_for(app, binary, cr3s)
 
-        uploads: List[Tuple[Pod, str, int]] = []
-        for pod, session in sessions:
-            if not session.stopped:
-                node = self.nodes[pod.node_name]
-                node.facility.stop_tracing(session, "reconcile-timeout")
+        uploads: List[Tuple[Pod, str, int, str, bool, int]] = []
+        for node, pod, session, label, salvaged in completed:
             raw = encode_trace(session.segments)
+            dropped = 0
+            if injector is not None:
+                raw, dropped = injector.mangle(raw, label)
             key = f"traces/{task.name}/{pod.uid}"
             self.object_store.put(key, raw)
             task.status.trace_keys.append(key)
             task.status.bytes_captured += session.bytes_captured
             task.status.sessions_completed += 1
-            uploads.append((pod, key, len(raw)))
+            uploads.append((pod, key, len(raw), label, salvaged, dropped))
+        if injector is not None and report.buffers_exhausted:
+            report.buffer_bytes_rejected = int(
+                sum(
+                    max(0.0, s.bytes_offered - s.bytes_accepted)
+                    for _, _, session, _, _ in completed
+                    for s in session.segments
+                )
+            )
 
         # decode off-node: raw bytes from OSS + the binary from the
         # repository (never reaching into the worker's memory).  Workers
@@ -259,21 +450,40 @@ class ClusterMaster:
             and pool.parallel
             and binary is get_workload(app).binary()
         )
+        payloads = [
+            (app, cr3s, self.object_store.get(key))
+            for _, key, _, _, _, _ in uploads
+        ]
         if fan_out:
             assert pool is not None
-            stats = pool.map(
-                _decode_session,
-                [(app, cr3s, self.object_store.get(key)) for _, key, _ in uploads],
-            )
+            stats = pool.map(_decode_session, payloads)
         else:
             stats = []
-            for _, key, _ in uploads:
-                decoded = decoder.decode(
-                    self.object_store.get(key), resilient=True
+            for payload in payloads:
+                decoded = decoder.decode(payload[2], resilient=True)
+                stats.append(
+                    (
+                        len(decoded),
+                        len(decoded.function_histogram()),
+                        decoded.resyncs,
+                        decoded.bytes_skipped,
+                    )
                 )
-                stats.append((len(decoded), len(decoded.function_histogram())))
 
-        for (pod, key, raw_len), (n_records, n_functions) in zip(uploads, stats):
+        for (pod, key, raw_len, label, salvaged, dropped), (
+            n_records,
+            n_functions,
+            resyncs,
+            skipped,
+        ) in zip(uploads, stats):
+            report.decode_resyncs += resyncs
+            report.bytes_dropped += skipped
+            degraded_row = bool(salvaged or dropped or skipped)
+            if degraded_row:
+                report.records_recovered += n_records
+                if not salvaged:
+                    report.sessions_degraded += 1
+                    report.note(f"recovered {n_records} records from {label}")
             self.structured_store.insert(
                 "traces",
                 [
@@ -286,10 +496,25 @@ class ClusterMaster:
                         "functions": n_functions,
                         "bytes": raw_len,
                         "period_ns": plan.period_ns,
+                        "degraded": degraded_row,
                     }
                 ],
             )
-        task.status.phase = TaskPhase.COMPLETE
+
+        # (5) honest accounting: coverage + the degradation report
+        metric = CoverageMetric(requested=coverage_requested, achieved=achieved)
+        report.sessions_completed = len(uploads)
+        report.coverage_requested = metric.requested
+        report.coverage_achieved = metric.achieved
+        report.quarantined_nodes = sorted(quarantined)
+        task.status.coverage_requested = metric.requested
+        task.status.coverage_achieved = metric.achieved
+        task.status.degradation = report
+        if report.degraded:
+            task.status.phase = TaskPhase.DEGRADED
+            task.status.message = report.summary()
+        else:
+            task.status.phase = TaskPhase.COMPLETE
         self._active_tasks -= 1
         return task
 

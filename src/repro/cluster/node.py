@@ -5,20 +5,31 @@ all nodes through the same virtual window; nodes do not interact directly
 (inter-service effects are modeled by :mod:`repro.services`), which
 matches how EXIST's node facilities operate independently under a
 cluster-level orchestrator.
+
+Fault surface: a node can *crash* (its clock halts, in-flight tracing
+sessions are aborted and their in-memory trace data is lost) and later
+*restart* (fresh kernel + facility, pods respawned — the kubelet's
+``restartPolicy: Always``).  Individual pods can be *killed* mid-window;
+the facility survives a pod kill, so partial trace data remains
+salvageable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Optional, List, Sequence
 
 from repro.cluster.pod import Pod, PodPhase
 from repro.core.config import ExistConfig, TracingRequest
-from repro.core.facility import CompletedSession, ExistFacility
+from repro.core.facility import ExistFacility
 from repro.core.otc import TracingSession
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import ProvisioningMode, WorkloadProfile
-from repro.util.units import SEC
+from repro.util.rng import derive_seed
+
+#: session stop reasons attributed to injected faults
+STOP_NODE_CRASH = "node-crash"
+STOP_POD_KILLED = "pod-killed"
 
 
 class ClusterNode:
@@ -32,12 +43,17 @@ class ClusterNode:
         seed: int = 0,
     ):
         self.name = name
-        self.system = KernelSystem(system_config or SystemConfig.small_node(8, seed=seed))
+        self.seed = seed
+        self._base_config = system_config or SystemConfig.small_node(8, seed=seed)
+        self._exist_config = exist_config
+        self.system = KernelSystem(self._base_config)
         self.facility = ExistFacility(self.system, exist_config, seed=seed)
         self.facility.install()
         self.pods: List[Pod] = []
         self._next_pin = 0
-        self.seed = seed
+        self.alive = True
+        self.crash_count = 0
+        self.restart_count = 0
 
     # -- pod placement -------------------------------------------------------
 
@@ -86,14 +102,83 @@ class ClusterNode:
         self, pod: Pod, request: TracingRequest
     ) -> TracingSession:
         """Start one tracing session against a pod on this node."""
-        if pod.process is None:
+        if not self.alive:
+            raise RuntimeError(f"node {self.name} is down")
+        if pod.process is None or pod.phase is not PodPhase.RUNNING:
             raise RuntimeError(f"{pod} has no running process")
         return self.facility.begin_tracing(request)
+
+    # -- faults ------------------------------------------------------------------
+
+    def schedule_crash(self, at_ns: int) -> None:
+        """Arrange for this node to crash at absolute virtual time ``at_ns``."""
+        self.system.sim.schedule(max(at_ns, self.now), self.crash)
+
+    def crash(self) -> None:
+        """Crash the node now: clock halts, in-flight sessions are lost.
+
+        Active sessions stop with reason ``node-crash``; the trace bytes
+        they buffered lived in node DRAM, so the master must treat them
+        as unrecoverable (it never gets to upload them).
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        otc = self.facility.otc
+        if otc is not None:
+            for session in list(otc.active_sessions):
+                otc.stop(session, STOP_NODE_CRASH)
+        self.system.sim.halt()
+
+    def restart(self) -> None:
+        """Boot a replacement node: fresh kernel + facility, pods respawned.
+
+        Pod objects (and their uids) survive; each gets a new process on
+        the new system, keeping its original cpuset.  Failed pods come
+        back too (``restartPolicy: Always``).
+        """
+        if self.alive:
+            return
+        self.restart_count += 1
+        seed = derive_seed(self.seed, "restart", self.restart_count) % (2**31)
+        self.system = KernelSystem(replace(self._base_config, seed=seed))
+        self.facility = ExistFacility(self.system, self._exist_config, seed=seed)
+        self.facility.install()
+        self.alive = True
+        for index, pod in enumerate(self.pods):
+            process = pod.profile.spawn(
+                self.system, cpuset=pod.cpuset, seed=seed + index
+            )
+            process.pod = pod
+            pod.mark_running(process)
+
+    def schedule_pod_kill(
+        self, pod: Pod, session: Optional[TracingSession], at_ns: int
+    ) -> None:
+        """Kill ``pod`` at virtual time ``at_ns`` (its session stops early).
+
+        Unlike a node crash, the facility survives: the session's
+        partial trace data remains in the (kernel-owned) buffers and can
+        still be uploaded — degraded, not lost.
+        """
+
+        def _kill() -> None:
+            if pod.phase is not PodPhase.RUNNING:
+                return
+            pod.mark_failed()
+            otc = self.facility.otc
+            if session is not None and not session.stopped and otc is not None:
+                otc.stop(session, STOP_POD_KILLED)
+
+        self.system.sim.schedule(max(at_ns, self.now), _kill)
 
     # -- time ------------------------------------------------------------------------
 
     def run_for(self, duration_ns: int) -> None:
-        """Advance this node's virtual time."""
+        """Advance this node's virtual time (no-op while crashed)."""
+        if not self.alive:
+            return
         self.system.run_for(duration_ns)
 
     @property
@@ -105,4 +190,5 @@ class ClusterNode:
         return self.system.topology.utilization(max(self.now, 1))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ClusterNode({self.name}, pods={len(self.pods)})"
+        state = "up" if self.alive else "down"
+        return f"ClusterNode({self.name}, pods={len(self.pods)}, {state})"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.kernel.task import Process
 from repro.program.workloads import ProvisioningMode, WorkloadProfile
@@ -19,6 +19,7 @@ class PodPhase(enum.Enum):
     PENDING = "Pending"
     RUNNING = "Running"
     SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
 
 
 @dataclass
@@ -49,6 +50,14 @@ class Pod:
         """Bind the started process and flip the phase to Running."""
         self.process = process
         self.phase = PodPhase.RUNNING
+
+    def mark_failed(self) -> None:
+        """The replica died (killed or its node crashed)."""
+        self.phase = PodPhase.FAILED
+
+    @property
+    def running(self) -> bool:
+        return self.phase is PodPhase.RUNNING and self.process is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Pod({self.uid}, app={self.app}, node={self.node_name}, {self.phase.value})"

@@ -10,7 +10,7 @@ anomaly detector submits through the configuration interface.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.util.units import MIB, MSEC, SEC

@@ -22,8 +22,6 @@ from typing import Dict, Optional
 
 from repro.core.config import ExistConfig, TraceReason, TracingRequest
 from repro.core.facility import CompletedSession, ExistFacility
-from repro.kernel.cpu import LogicalCore
-from repro.kernel.task import SliceResult, Thread
 from repro.tracing.base import SchemeArtifacts, TracingScheme
 from repro.util.units import MSEC
 

@@ -8,7 +8,7 @@ deployment-overhead experiments can measure the facility itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import ExistConfig, TracingRequest
@@ -21,7 +21,7 @@ from repro.hwtrace.riscv import RiscvCoreTracer, RiscvVolumeModel
 from repro.hwtrace.tracer import CoreTracer, VolumeModel
 from repro.kernel.cpu import LogicalCore
 from repro.kernel.system import KernelSystem
-from repro.kernel.task import Process, SliceResult, Thread
+from repro.kernel.task import SliceResult, Thread
 from repro.util.units import MSEC, SEC
 
 

@@ -92,6 +92,12 @@ class OperationAwareTracingController:
         self._on_stop_callbacks: Dict[int, Callable[[TracingSession], None]] = {}
         #: kernel time the controller itself consumed (facility CPU, Fig 17)
         self.control_ns: int = 0
+        #: fault-injection tap on the 24-byte sched-switch side channel:
+        #: called with (session, five_tuple); returns the record to keep
+        #: (possibly delayed) or None to drop it.  None = no fault.
+        self.sched_fault: Optional[
+            Callable[[TracingSession, tuple], Optional[tuple]]
+        ] = None
 
     # -- session lifecycle -------------------------------------------------------
 
@@ -201,8 +207,13 @@ class OperationAwareTracingController:
                 prev is not None and prev.pid == target_pid
             )
             if involves_target:
-                session.sched_records.append(record.five_tuple)
-                cost += self.ledger.charge_sidecar()
+                five_tuple: Optional[tuple] = record.five_tuple
+                fault = self.sched_fault
+                if fault is not None:
+                    five_tuple = fault(session, five_tuple)
+                if five_tuple is not None:
+                    session.sched_records.append(five_tuple)
+                    cost += self.ledger.charge_sidecar()
             if (
                 nxt is not None
                 and nxt.pid == target_pid

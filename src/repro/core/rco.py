@@ -19,7 +19,7 @@ repetition captured of the program's behaviour cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -156,6 +156,27 @@ class SpatialSampler:
         picked = self._rng.choice(len(reps), size=count, replace=False)
         return [reps[int(i)] for i in sorted(picked)]
 
+    def resample(
+        self,
+        repetitions: Sequence[Repetition],
+        count: int,
+        exclude: Iterable[str] = (),
+    ) -> List[Repetition]:
+        """Pick replacement replicas after traced replicas died (§3.4).
+
+        ``exclude`` holds pod uids already tried (dead, quarantined, or
+        traced); replacements come only from untouched repetitions.  The
+        selection is deterministic for a given sampler state, so retry
+        waves replay identically across runs with the same seed.
+        """
+        excluded = set(exclude)
+        pool = [r for r in repetitions if r.pod_uid not in excluded]
+        if count <= 0 or not pool:
+            return []
+        count = min(count, len(pool))
+        picked = self._rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in sorted(picked)]
+
 
 # ---------------------------------------------------------------------------
 # trace augmentation
@@ -220,6 +241,30 @@ def augment_traces(
 # ---------------------------------------------------------------------------
 # facade
 # ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoverageMetric:
+    """Spatial-coverage outcome of one orchestrated request.
+
+    ``requested`` is how many repetitions RCO wanted traced; ``achieved``
+    how many delivered a full tracing window.  Under faults the two
+    diverge — the honest-accounting signal graceful degradation reports
+    instead of raising.
+    """
+
+    requested: int
+    achieved: int
+
+    @property
+    def fraction(self) -> float:
+        if self.requested <= 0:
+            return 1.0
+        return self.achieved / self.requested
+
+    @property
+    def degraded(self) -> bool:
+        return self.achieved < self.requested
+
 
 @dataclass
 class OrchestrationPlan:

@@ -10,7 +10,7 @@ are attributable to the scheme alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.exist import ExistScheme
 from repro.kernel.system import KernelSystem, SystemConfig
@@ -23,7 +23,7 @@ from repro.tracing.nht import NhtScheme
 from repro.tracing.oracle import OracleScheme
 from repro.tracing.rept import ReptScheme
 from repro.tracing.stasam import StaSamScheme
-from repro.util.units import MSEC, SEC
+from repro.util.units import SEC
 
 #: scheme name -> zero-argument factory; the Table 2 lineup
 SCHEME_FACTORIES: Dict[str, Callable[[], TracingScheme]] = {
@@ -109,7 +109,6 @@ def run_traced_execution(
         completion = max(t.done_at for t in target.threads)
     else:
         window = window_s if window_s is not None else 0.3
-        before = system.process_requests(target)
         system.run_for(int(warmup_s * SEC))
         mid = system.process_requests(target)
         system.run_for(int(window * SEC))
@@ -243,6 +242,125 @@ def slowdown_table(
         row = results[index * n_schemes : (index + 1) * n_schemes]
         table[workload] = _normalize(schemes, [r.completion_ns for r in row])
     return table
+
+
+def run_chaos_scenario(
+    faults: str = "chaos",
+    fault_seed: int = 0,
+    app: str = "Search1",
+    nodes: int = 3,
+    replicas: Optional[int] = None,
+    seed: int = 11,
+    jobs: int = 1,
+    pool=None,
+    retry_policy=None,
+    reset_identities: bool = True,
+) -> Dict:
+    """One seeded chaos reconcile on a fresh cluster; returns plain data.
+
+    Builds ``nodes`` worker nodes, deploys ``replicas`` pods of ``app``
+    (default: one per node, so a crashed node cannot be resampled around
+    and the coverage shortfall is visible), arms the ``faults`` plan, and
+    reconciles a single anomaly TraceTask.  The returned dict is fully
+    JSON-serializable: phase, coverage, the DegradationReport, and the
+    structured rows — byte-comparable across runs and across ``jobs``
+    (identity counters are reset first unless ``reset_identities`` is
+    False, so repeated in-process runs replay identically).
+    """
+    from repro.cluster.crd import TraceTaskSpec
+    from repro.cluster.master import ClusterMaster, RetryPolicy
+    from repro.cluster.node import ClusterNode
+    from repro.core.config import TraceReason
+    from repro.faults import FaultPlan
+    from repro.parallel.pool import RunPool
+    from repro.util.identity import reset_identity_counters
+
+    if reset_identities:
+        reset_identity_counters()
+    plan = FaultPlan.parse(faults, seed=fault_seed)
+    policy = retry_policy or RetryPolicy(restart_crashed_nodes=False)
+    master = ClusterMaster(seed=seed)
+    for index in range(nodes):
+        master.add_node(ClusterNode(f"node-{index:02d}", seed=seed * 100 + index))
+    master.deploy(app, replicas=replicas if replicas is not None else nodes)
+    task = master.submit(TraceTaskSpec(app=app, reason=TraceReason.ANOMALY))
+
+    def _reconcile(run_pool):
+        master.reconcile(
+            task, pool=run_pool, faults=plan or None, retry_policy=policy
+        )
+
+    if pool is not None:
+        _reconcile(pool)
+    elif jobs > 1:
+        with RunPool(max_workers=jobs) as owned:
+            _reconcile(owned)
+    else:
+        _reconcile(None)
+
+    report = task.status.degradation
+    return {
+        "app": app,
+        "faults": plan.render(),
+        "fault_seed": fault_seed,
+        "jobs": jobs,
+        "phase": task.status.phase.value,
+        "coverage_requested": task.status.coverage_requested,
+        "coverage_achieved": task.status.coverage_achieved,
+        "report": report.to_dict() if report is not None else None,
+        "rows": [
+            {key: row[key] for key in sorted(row)}
+            for row in master.sessions_for(task)
+        ],
+    }
+
+
+def chaos_sweep(
+    fault_seeds: Sequence[int],
+    faults: str = "chaos",
+    app: str = "Search1",
+    nodes: int = 3,
+    replicas: Optional[int] = None,
+    seed: int = 11,
+    jobs: int = 1,
+) -> Dict:
+    """Run the chaos scenario across fault seeds; aggregate the damage.
+
+    The CI chaos lane's heavier check: every seeded run must complete
+    (no raise), and the sweep summary shows how loss varies with the
+    seed — mean coverage fraction, total bytes dropped, and the phase
+    histogram.
+    """
+    runs = [
+        run_chaos_scenario(
+            faults=faults,
+            fault_seed=fault_seed,
+            app=app,
+            nodes=nodes,
+            replicas=replicas,
+            seed=seed,
+            jobs=jobs,
+        )
+        for fault_seed in fault_seeds
+    ]
+    phases: Dict[str, int] = {}
+    fractions = []
+    bytes_dropped = 0
+    for run in runs:
+        phases[run["phase"]] = phases.get(run["phase"], 0) + 1
+        report = run["report"] or {}
+        fractions.append(report.get("coverage_fraction", 1.0))
+        bytes_dropped += report.get("bytes_dropped", 0)
+    return {
+        "faults": faults,
+        "seeds": list(fault_seeds),
+        "runs": runs,
+        "phases": phases,
+        "mean_coverage_fraction": (
+            sum(fractions) / len(fractions) if fractions else 1.0
+        ),
+        "total_bytes_dropped": bytes_dropped,
+    }
 
 
 def throughput_table(

@@ -1,0 +1,33 @@
+"""Fault injection & graceful degradation.
+
+EXIST's design is explicitly built around *partial* data: compulsory
+stop-on-full ToPA buffers drop trace tails when memory pressure bites
+(§3.3), and RCO's replica sampling merges whatever repetitions actually
+delivered (§3.4).  This package exercises that story deliberately:
+
+* :mod:`repro.faults.plan` — seeded, declarative :class:`FaultPlan`
+  (parsed from a ``--faults`` spec string) naming which faults to inject
+  where and when;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
+  that arms the plan against a reconciling cluster: node crashes, pod
+  kills, ToPA buffer exhaustion, raw-stream corruption/truncation, and
+  sched-switch side-channel loss;
+* :mod:`repro.faults.report` — :class:`DegradationReport`, the honest
+  accounting attached to every reconciled task: coverage achieved vs
+  requested, bytes dropped, records recovered, sessions abandoned.
+
+Everything is deterministic for a given fault seed, including across
+``jobs=1`` vs ``jobs=N`` decode fan-out.
+"""
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.report import DegradationReport
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "DegradationReport",
+]

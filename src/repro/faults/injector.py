@@ -1,0 +1,235 @@
+"""FaultInjector: arms a :class:`FaultPlan` against a reconciling cluster.
+
+The master drives reconciliation in *waves* (initial attempt + retries).
+Before each wave's tracing window the injector is given the wave's
+participants — ``(node, pod, session, label)`` tuples sorted by node
+name — and it:
+
+* schedules node crashes and pod kills at ``at_fraction`` of the window
+  (timed faults are one-shot: a crash spec fires in one wave only, so
+  retry waves can actually make progress);
+* squeezes ToPA outputs via :meth:`ToPAOutput.constrain`, forcing the
+  compulsory stop-on-full path (§3.3) to engage early;
+* taps the OTC sched-switch side channel to drop or delay 24-byte
+  five-tuple records.
+
+At upload time :meth:`mangle` corrupts or truncates the raw trace bytes
+*before* they reach the object store, so the sequential and pooled decode
+paths see byte-identical degraded input.
+
+All randomness comes from :class:`~repro.util.rng.RngFactory` streams
+keyed by stable logical names (spec index, node name, upload label, wave
+number) — never by process-global ids — so an identical plan + seed
+replays identically, including across ``jobs=1`` vs ``jobs=N``.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.report import DegradationReport
+from repro.util.rng import RngFactory
+from repro.util.units import MSEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.pod import Pod
+    from repro.core.otc import TracingSession
+
+#: one wave participant: (node, pod, session, logical label)
+Participant = Tuple["ClusterNode", "Pod", "TracingSession", str]
+
+
+class FaultInjector:
+    """Runtime executor of one seeded fault plan."""
+
+    def __init__(self, plan: FaultPlan, report: Optional[DegradationReport] = None):
+        self.plan = plan
+        self.report = report or DegradationReport(
+            faults=plan.render(), fault_seed=plan.seed
+        )
+        self._rngs = RngFactory(plan.seed)
+        #: indices of one-shot (timed) specs that already fired
+        self._consumed: set = set()
+        #: nodes whose OTC currently carries our sched tap
+        self._tapped: List["ClusterNode"] = []
+
+    # -- wave lifecycle ----------------------------------------------------------
+
+    def begin_wave(
+        self, wave: int, participants: Sequence[Participant], window_ns: int
+    ) -> None:
+        """Arm all faults for one tracing wave (before ``run_for``)."""
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind is FaultKind.NODE_CRASH:
+                self._arm_crashes(index, spec, participants, window_ns)
+            elif spec.kind is FaultKind.POD_KILL:
+                self._arm_pod_kills(index, spec, participants, window_ns)
+            elif spec.kind is FaultKind.BUFFER_EXHAUST:
+                self._squeeze_buffers(spec, participants)
+        self._tap_sched(wave, participants)
+
+    def end_wave(self) -> None:
+        """Disarm the sched-channel taps installed by :meth:`begin_wave`."""
+        for node in self._tapped:
+            otc = node.facility.otc
+            if otc is not None:
+                otc.sched_fault = None
+        self._tapped.clear()
+
+    # -- timed faults ------------------------------------------------------------
+
+    def _arm_crashes(
+        self,
+        index: int,
+        spec: FaultSpec,
+        participants: Sequence[Participant],
+        window_ns: int,
+    ) -> None:
+        if index in self._consumed:
+            return
+        nodes = {}
+        for node, _, _, _ in participants:
+            if node.alive and fnmatch(node.name, spec.target):
+                nodes[node.name] = node
+        candidates = [nodes[name] for name in sorted(nodes)]
+        count = min(int(spec.magnitude), len(candidates))
+        if count <= 0 or not candidates:
+            return
+        self._consumed.add(index)
+        rng = self._rngs.stream("crash", index)
+        picked = rng.choice(len(candidates), size=count, replace=False)
+        for i in sorted(int(p) for p in picked):
+            node = candidates[i]
+            at_ns = node.now + int(spec.at_fraction * window_ns)
+            node.schedule_crash(at_ns)
+            self.report.note(
+                f"crash scheduled on {node.name} at +{spec.at_fraction:g} window"
+            )
+
+    def _arm_pod_kills(
+        self,
+        index: int,
+        spec: FaultSpec,
+        participants: Sequence[Participant],
+        window_ns: int,
+    ) -> None:
+        if index in self._consumed:
+            return
+        candidates = [
+            p
+            for p in participants
+            if p[0].alive and fnmatch(p[0].name, spec.target)
+        ]
+        count = min(int(spec.magnitude), len(candidates))
+        if count <= 0 or not candidates:
+            return
+        self._consumed.add(index)
+        rng = self._rngs.stream("pod-kill", index)
+        picked = rng.choice(len(candidates), size=count, replace=False)
+        for i in sorted(int(p) for p in picked):
+            node, pod, session, label = candidates[i]
+            at_ns = node.now + int(spec.at_fraction * window_ns)
+            node.schedule_pod_kill(pod, session, at_ns)
+            self.report.note(
+                f"pod kill scheduled for {label} at +{spec.at_fraction:g} window"
+            )
+
+    # -- buffer pressure ---------------------------------------------------------
+
+    def _squeeze_buffers(
+        self, spec: FaultSpec, participants: Sequence[Participant]
+    ) -> None:
+        for node, _, session, label in participants:
+            if not fnmatch(node.name, spec.target):
+                continue
+            squeezed = 0
+            for core_id in session.plan.traced_cores:
+                tracer = node.facility.tracers.get(core_id)
+                output = tracer.output if tracer is not None else None
+                if output is None:
+                    continue
+                if output.constrain(spec.magnitude) > 0:
+                    squeezed += 1
+            if squeezed:
+                self.report.buffers_exhausted += squeezed
+                self.report.note(
+                    f"squeezed {squeezed} ToPA outputs of {label}"
+                    f" by {spec.magnitude:g}"
+                )
+
+    # -- sched side channel -------------------------------------------------------
+
+    def _tap_sched(self, wave: int, participants: Sequence[Participant]) -> None:
+        drop_specs = self.plan.specs_of(FaultKind.SCHED_DROP)
+        delay_specs = self.plan.specs_of(FaultKind.SCHED_DELAY)
+        if not drop_specs and not delay_specs:
+            return
+        drop_p = max((s.magnitude for s in drop_specs), default=0.0)
+        delay_ns = int(max((s.magnitude for s in delay_specs), default=0.0) * MSEC)
+        report = self.report
+        seen = set()
+        for node, _, _, _ in participants:
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            otc = node.facility.otc
+            if otc is None:
+                continue
+            rng = self._rngs.stream("sched", node.name, wave)
+
+            def fault(session, five_tuple, _rng=rng):
+                if drop_p and float(_rng.random()) < drop_p:
+                    report.sched_records_dropped += 1
+                    return None
+                if delay_ns:
+                    report.sched_records_delayed += 1
+                    return (five_tuple[0] + delay_ns,) + tuple(five_tuple[1:])
+                return five_tuple
+
+            otc.sched_fault = fault
+            self._tapped.append(node)
+
+    # -- data-path mangling -------------------------------------------------------
+
+    def mangle(self, raw: bytes, label: str) -> Tuple[bytes, int]:
+        """Corrupt/truncate one uploaded trace; returns (bytes, dropped).
+
+        ``dropped`` counts only bytes *removed* here (truncation).
+        Corrupted-in-place bytes are not counted — the resilient decoder's
+        ``bytes_skipped`` accounts for what the corruption actually cost,
+        avoiding double counting.
+        """
+        dropped = 0
+        data = raw
+        for spec in self.plan.specs_of(FaultKind.TRUNCATE):
+            cut = int(len(data) * spec.magnitude)
+            if cut > 0:
+                data = data[: len(data) - cut]
+                dropped += cut
+                self.report.note(f"truncated {cut} bytes from {label}")
+        for spec in self.plan.specs_of(FaultKind.CORRUPT):
+            n = int(len(data) * spec.magnitude)
+            if n <= 0 or not data:
+                continue
+            rng = self._rngs.stream("corrupt", label)
+            positions = rng.integers(0, len(data), size=n)
+            flips = rng.integers(1, 256, size=n)
+            mutable = bytearray(data)
+            for pos, flip in zip(positions, flips):
+                mutable[int(pos)] ^= int(flip)
+            data = bytes(mutable)
+            self.report.note(f"corrupted {n} bytes of {label}")
+        if dropped:
+            self.report.bytes_dropped += dropped
+        return data, dropped
+
+    # -- queries -----------------------------------------------------------------
+
+    def mangles_data(self) -> bool:
+        """Whether the plan touches uploaded bytes at all."""
+        return bool(
+            self.plan.specs_of(FaultKind.TRUNCATE, FaultKind.CORRUPT)
+        )

@@ -1,0 +1,157 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec`s plus a seed — a
+complete, reproducible description of what goes wrong during one
+reconciliation (or campaign).  Plans parse from compact spec strings so
+the CLI and CI can name chaos scenarios in one flag::
+
+    crash@0.5                 crash 1 node halfway through the window
+    crash:2@0.25/node-0*      crash 2 nodes matching the glob at 25%
+    pod-kill@0.6              kill 1 traced pod at 60% of the window
+    exhaust:0.9               shrink ToPA buffers by 90% (stop-on-full)
+    corrupt:0.05              corrupt 5% of uploaded trace bytes
+    truncate:0.3              drop the last 30% of uploaded trace bytes
+    sched-drop:0.2            drop 20% of sched-switch side records
+    sched-delay:2.0           delay sched records by 2 ms
+
+Specs are comma-separated; the preset ``chaos`` expands to a
+representative mix of all fault classes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (see docs/ARCHITECTURE.md)."""
+
+    NODE_CRASH = "crash"
+    POD_KILL = "pod-kill"
+    BUFFER_EXHAUST = "exhaust"
+    CORRUPT = "corrupt"
+    TRUNCATE = "truncate"
+    SCHED_DROP = "sched-drop"
+    SCHED_DELAY = "sched-delay"
+
+
+#: per-kind default magnitude when the spec string omits one
+_DEFAULT_MAGNITUDE: Dict[FaultKind, float] = {
+    FaultKind.NODE_CRASH: 1.0,  # nodes to crash
+    FaultKind.POD_KILL: 1.0,  # pods to kill
+    FaultKind.BUFFER_EXHAUST: 0.9,  # fraction of capacity removed
+    FaultKind.CORRUPT: 0.02,  # fraction of bytes corrupted
+    FaultKind.TRUNCATE: 0.25,  # fraction of tail removed
+    FaultKind.SCHED_DROP: 0.2,  # per-record drop probability
+    FaultKind.SCHED_DELAY: 1.0,  # delay in milliseconds
+}
+
+#: the named preset: one representative fault per class
+CHAOS_PRESET = "crash@0.5,exhaust:0.9,corrupt:0.05,sched-drop:0.2"
+
+_PRESETS = {
+    "chaos": CHAOS_PRESET,
+    "none": "",
+}
+
+_FRACTION_KINDS = frozenset(
+    {
+        FaultKind.BUFFER_EXHAUST,
+        FaultKind.CORRUPT,
+        FaultKind.TRUNCATE,
+        FaultKind.SCHED_DROP,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``magnitude`` is kind-specific (a count for crash/kill, a fraction
+    for exhaust/corrupt/truncate/sched-drop, milliseconds for
+    sched-delay); ``at_fraction`` places timed faults within the tracing
+    window; ``target`` is a node-name glob for crash/kill.
+    """
+
+    kind: FaultKind
+    magnitude: float
+    at_fraction: float = 0.5
+    target: str = "*"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError(f"at_fraction {self.at_fraction} outside [0, 1]")
+        if self.magnitude < 0:
+            raise ValueError(f"negative magnitude {self.magnitude}")
+        if self.kind in _FRACTION_KINDS and self.magnitude > 1.0:
+            raise ValueError(
+                f"{self.kind.value} magnitude is a fraction; got {self.magnitude}"
+            )
+
+    def render(self) -> str:
+        """Normalized spec-string form (round-trips through parse)."""
+        text = f"{self.kind.value}:{self.magnitude:g}@{self.at_fraction:g}"
+        if self.target != "*":
+            text += f"/{self.target}"
+        return text
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind[:magnitude][@at_fraction][/target]`` atom."""
+        body = text.strip()
+        target = "*"
+        if "/" in body:
+            body, target = body.split("/", 1)
+        at_fraction = None
+        if "@" in body:
+            body, at_text = body.split("@", 1)
+            at_fraction = float(at_text)
+        magnitude = None
+        if ":" in body:
+            body, mag_text = body.split(":", 1)
+            magnitude = float(mag_text)
+        try:
+            kind = FaultKind(body.strip())
+        except ValueError:
+            known = sorted(k.value for k in FaultKind)
+            raise ValueError(f"unknown fault kind {body.strip()!r}; known: {known}")
+        return cls(
+            kind=kind,
+            magnitude=_DEFAULT_MAGNITUDE[kind] if magnitude is None else magnitude,
+            at_fraction=0.5 if at_fraction is None else at_fraction,
+            target=target.strip() or "*",
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete seeded chaos scenario."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a comma-separated spec string or preset name."""
+        expanded = _PRESETS.get(text.strip().lower(), text)
+        specs = tuple(
+            FaultSpec.parse(atom)
+            for atom in expanded.split(",")
+            if atom.strip()
+        )
+        return cls(specs=specs, seed=seed)
+
+    def specs_of(self, *kinds: FaultKind) -> Tuple[FaultSpec, ...]:
+        """The plan's specs restricted to the given kinds, in plan order."""
+        wanted = set(kinds)
+        return tuple(s for s in self.specs if s.kind in wanted)
+
+    def render(self) -> str:
+        """Normalized spec string (stable; used in reports)."""
+        return ",".join(spec.render() for spec in self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

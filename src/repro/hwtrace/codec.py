@@ -86,6 +86,8 @@ class ScannedStream:
     values: np.ndarray = field(default_factory=lambda: _EMPTY_VALUES)
     #: PSB resynchronizations performed (resilient scans only)
     resyncs: int = 0
+    #: bytes discarded while skipping from corruption to the next PSB
+    bytes_skipped: int = 0
 
     def __len__(self) -> int:
         return int(self.kinds.size)
@@ -243,14 +245,18 @@ def _scan(
 
 
 def _assemble(
-    kind_chunks: List[np.ndarray], value_chunks: List[np.ndarray], resyncs: int
+    kind_chunks: List[np.ndarray],
+    value_chunks: List[np.ndarray],
+    resyncs: int,
+    bytes_skipped: int = 0,
 ) -> ScannedStream:
     if not kind_chunks:
-        return ScannedStream(resyncs=resyncs)
+        return ScannedStream(resyncs=resyncs, bytes_skipped=bytes_skipped)
     return ScannedStream(
         kinds=np.concatenate(kind_chunks),
         values=np.concatenate(value_chunks),
         resyncs=resyncs,
+        bytes_skipped=bytes_skipped,
     )
 
 
@@ -274,6 +280,7 @@ def scan_stream_resilient(data: bytes) -> ScannedStream:
     kind_chunks: List[np.ndarray] = []
     value_chunks: List[np.ndarray] = []
     resyncs = 0
+    bytes_skipped = 0
     offset = 0
     while offset < len(data):
         chunk_kinds, chunk_values, error = _scan(data, offset, buf)
@@ -284,9 +291,11 @@ def scan_stream_resilient(data: bytes) -> ScannedStream:
         resyncs += 1
         next_psb = data.find(PSB_BYTES, error[0] + 1)
         if next_psb == -1:
+            bytes_skipped += len(data) - error[0]
             break
+        bytes_skipped += next_psb - error[0]
         offset = next_psb
-    return _assemble(kind_chunks, value_chunks, resyncs)
+    return _assemble(kind_chunks, value_chunks, resyncs, bytes_skipped)
 
 
 def encode_event_records(block_ids: np.ndarray, addresses: np.ndarray) -> bytes:

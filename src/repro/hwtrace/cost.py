@@ -13,7 +13,7 @@ a scheme was slow, not just that it was.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.util.units import MIB

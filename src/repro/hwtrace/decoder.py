@@ -144,6 +144,7 @@ class DecodedTrace:
         unresolved: int = 0,
         resyncs: int = 0,
         ptwrites: Optional[List[tuple]] = None,
+        bytes_skipped: int = 0,
     ):
         self.timestamps = timestamps if timestamps is not None else _EMPTY_I64
         self.cr3s = cr3s if cr3s is not None else _EMPTY_I64
@@ -155,6 +156,8 @@ class DecodedTrace:
         self.unresolved = unresolved
         #: PSB resynchronizations performed on corrupt input
         self.resyncs = resyncs
+        #: input bytes discarded while resynchronizing past corruption
+        self.bytes_skipped = bytes_skipped
         #: PTWRITE payloads, timestamped ((time, cr3, value))
         self.ptwrites: List[tuple] = ptwrites if ptwrites is not None else []
 
@@ -304,7 +307,11 @@ class SoftwareDecoder:
         tip_mask = kinds == KIND_TIP
         ptw_mask = kinds == KIND_PTW
         if not tip_mask.any() and not ptw_mask.any():
-            return DecodedTrace(overflows=overflows, resyncs=scanned.resyncs)
+            return DecodedTrace(
+                overflows=overflows,
+                resyncs=scanned.resyncs,
+                bytes_skipped=scanned.bytes_skipped,
+            )
 
         # forward-fill decode context over the packet sequence: each
         # packet sees the value of the last TSC / PIP at or before it
@@ -358,6 +365,7 @@ class SoftwareDecoder:
             unresolved=unresolved,
             resyncs=scanned.resyncs,
             ptwrites=ptwrites,
+            bytes_skipped=scanned.bytes_skipped,
         )
 
     def decode_many(
@@ -396,6 +404,7 @@ class SoftwareDecoder:
             overflows=sum(d.overflows for d in decoded),
             unresolved=sum(d.unresolved for d in decoded),
             resyncs=sum(d.resyncs for d in decoded),
+            bytes_skipped=sum(d.bytes_skipped for d in decoded),
             ptwrites=sorted(
                 (p for d in decoded for p in d.ptwrites), key=lambda p: p[0]
             ),

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.util.units import MIB
 
@@ -94,6 +94,30 @@ class ToPAOutput:
         self.wrapped_bytes += overflow
         self.written = min(self.capacity, self.written + n)
         return n
+
+    def constrain(self, fraction: float) -> int:
+        """Shrink capacity by ``fraction`` under memory pressure.
+
+        Models a stressed node reclaiming facility pages mid-period: the
+        table loses its tail entries, so an output that already consumed
+        the surviving capacity latches stopped (STOP mode) exactly as if
+        it had filled naturally.  Bytes already written stay written —
+        shrinking affects future writes only.  Returns the capacity
+        removed in bytes.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("constrain fraction must be in [0, 1)")
+        new_capacity = max(4096, (int(self.capacity * (1.0 - fraction)) // 4096) * 4096)
+        removed = self.capacity - new_capacity
+        if removed <= 0:
+            return 0
+        self.capacity = new_capacity
+        if self.written >= self.capacity:
+            self.written = self.capacity
+            if self.mode is OutputMode.STOP_ON_FULL:
+                self.stopped = True
+                self.overflowed = True
+        return removed
 
     @property
     def free_bytes(self) -> int:

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.hwtrace.cost import CostLedger
 from repro.hwtrace.msr import CtlBits, RtitMsrFile
-from repro.hwtrace.topa import OutputMode, ToPAOutput
+from repro.hwtrace.topa import ToPAOutput
 from repro.program.path import PathModel
 
 

@@ -91,6 +91,8 @@ class Simulator:
         self._seq = 0
         self._events_fired = 0
         self._tombstones = 0
+        #: a halted clock fires nothing and never advances (crashed node)
+        self.halted = False
 
     # -- scheduling -------------------------------------------------------
 
@@ -126,6 +128,22 @@ class Simulator:
             heapq.heapify(heap)
             self._tombstones = 0
 
+    # -- halting (fault injection) ----------------------------------------
+
+    def halt(self) -> None:
+        """Freeze the clock: pending events stay queued but never fire.
+
+        Models a node crash — from the outside the machine simply stops
+        responding, with ``now`` frozen at the instant of the crash.  A
+        halt can be issued from inside a running event callback; the
+        batched run loops observe it after that callback returns.
+        """
+        self.halted = True
+
+    def resume(self) -> None:
+        """Lift a halt (a repaired node); queued events become runnable."""
+        self.halted = False
+
     # -- execution --------------------------------------------------------
 
     def peek_time(self) -> Optional[int]:
@@ -138,6 +156,8 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
+        if self.halted:
+            return False
         heap = self._heap
         while heap:
             at, _, event = heapq.heappop(heap)
@@ -162,8 +182,12 @@ class Simulator:
 
         This is the hot path of every experiment: ready events are popped
         in one batched pass directly off the heap — no per-event
-        ``peek``/``step`` round trips, tombstones skipped inline.
+        ``peek``/``step`` round trips, tombstones skipped inline.  A
+        halt issued by a fired callback (node crash) stops the batch and
+        freezes ``now`` at the crash instant.
         """
+        if self.halted:
+            return 0
         heap = self._heap
         pop = heapq.heappop
         fired = 0
@@ -181,6 +205,9 @@ class Simulator:
             event.fired = True
             fired += 1
             event.callback()
+            if self.halted:
+                self._events_fired += fired
+                return fired
         self._events_fired += fired
         if self.now < deadline:
             self.now = deadline
@@ -188,6 +215,8 @@ class Simulator:
 
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
         """Run until no events remain.  Guards against runaway loops."""
+        if self.halted:
+            return 0
         heap = self._heap
         pop = heapq.heappop
         fired = 0
@@ -205,6 +234,8 @@ class Simulator:
                     f"simulation exceeded {max_events} events; likely a livelock"
                 )
             event.callback()
+            if self.halted:
+                break
         self._events_fired += fired
         return fired
 

@@ -32,8 +32,6 @@ from repro.kernel.syscalls import SyscallTable
 from repro.kernel.task import (
     SLICE_DONE,
     SLICE_SYSCALL,
-    SLICE_TIMESLICE,
-    SLICE_YIELD,
     SliceResult,
     Thread,
     ThreadState,

@@ -9,7 +9,7 @@ of a blocking ``file_write`` both hang off these events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.util.units import MSEC, USEC
 

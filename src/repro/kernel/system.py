@@ -16,7 +16,7 @@ from repro.kernel.cpu import CpuTopology, InterferenceModel
 from repro.kernel.events import Simulator
 from repro.kernel.scheduler import Scheduler, SchedulerConfig
 from repro.kernel.syscalls import SyscallTable
-from repro.kernel.task import Process, Thread, ThreadState
+from repro.kernel.task import Process, ThreadState
 from repro.kernel.tracepoints import TracepointRegistry
 from repro.util.rng import RngFactory
 from repro.util.units import MIB, SEC

@@ -22,7 +22,7 @@ trace-volume accounting multiplies back up, see
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -24,7 +24,7 @@ memoized per profile, and ``spawn()`` instantiates processes into a
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.program.binary import Binary, FunctionCategory as FC

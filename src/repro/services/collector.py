@@ -11,12 +11,12 @@ tests can run the full two-level diagnosis.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.services.rpc import RequestTrace, Span
+from repro.services.rpc import RequestTrace
 from repro.util.stats import percentile
 
 

@@ -24,7 +24,7 @@ from repro.kernel.cpu import LogicalCore
 from repro.kernel.task import SliceResult, Thread
 from repro.kernel.tracepoints import SCHED_SWITCH, SchedSwitchRecord
 from repro.tracing.base import SchemeArtifacts, TracingScheme
-from repro.util.units import GIB, MIB
+from repro.util.units import MIB
 
 
 class NhtScheme(TracingScheme):

@@ -1,0 +1,37 @@
+"""Process-global identity counters, resettable for replay harnesses.
+
+Several simulation entities draw identities from module-global
+``itertools.count`` streams (pids/tids, pod uids, session ids, task
+names, RPC span ids).  Those streams make identities unique across every
+cluster built in one interpreter — which is what experiments want — but
+they also leak across *independent* runs: the second cluster built in a
+process gets different pids, hence different CR3 values, hence different
+trace *bytes* than the first, even with identical seeds.
+
+Byte-level replay comparisons (the fault-injection determinism check:
+same fault seed, ``jobs=1`` vs ``jobs=N``, byte-identical
+DegradationReport and merged rows) therefore call
+:func:`reset_identity_counters` before each run, returning every stream
+to its boot value.  Only replay harnesses should do this — resetting
+while entities from a previous run are still in use would mint duplicate
+identities.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+def reset_identity_counters() -> None:
+    """Rewind all module-global identity streams to their boot values."""
+    from repro.cluster import crd, pod
+    from repro.core import otc
+    from repro.kernel import task
+    from repro.services import rpc
+
+    task._pid_counter = itertools.count(1000)
+    task._tid_counter = itertools.count(5000)
+    crd._task_counter = itertools.count(1)
+    pod._pod_counter = itertools.count(1)
+    otc._session_ids = itertools.count(1)
+    rpc._span_counter = itertools.count(1)

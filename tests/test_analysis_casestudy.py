@@ -11,7 +11,6 @@ from repro.analysis.reconstruct import reconstruct
 from repro.hwtrace.tracer import TraceSegment
 from repro.kernel.task import Process
 from repro.program.binary import FunctionCategory as FC
-from repro.program.path import PathModel
 from repro.program.workloads import get_workload
 from repro.util.units import MSEC, SEC
 

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.analysis.casestudy import BlockingAnomaly
-from repro.analysis.optimize import (
-    Optimization,
-    evaluate_optimization,
-    propose_optimizations,
-)
+from repro.analysis.optimize import evaluate_optimization, propose_optimizations
 from repro.program.workloads import get_workload
 from repro.util.units import MSEC, SEC
 

@@ -10,7 +10,7 @@ from repro.cluster.storage import ObjectStore, StructuredStore
 from repro.core.config import TraceReason, TracingRequest
 from repro.kernel.system import SystemConfig
 from repro.program.workloads import get_workload
-from repro.util.units import MIB, MSEC
+from repro.util.units import MSEC
 
 
 class TestObjectStore:

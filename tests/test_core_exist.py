@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import ExistConfig
 from repro.core.exist import ExistScheme
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload

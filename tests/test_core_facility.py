@@ -6,7 +6,7 @@ from repro.core.config import ExistConfig, TracingRequest
 from repro.core.facility import ExistFacility
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload
-from repro.util.units import MIB, MSEC
+from repro.util.units import MSEC
 
 
 @pytest.fixture

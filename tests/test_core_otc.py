@@ -4,10 +4,9 @@ import pytest
 
 from repro.core.config import ExistConfig
 from repro.core.facility import ExistFacility
-from repro.core.uma import UsageAwareMemoryAllocator
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import get_workload
-from repro.util.units import MSEC, SEC
+from repro.util.units import MSEC
 
 
 def start_session(system, facility, workload="mc", cpuset=(0, 1), period_ms=100):
@@ -124,7 +123,7 @@ class TestOperationCounts:
 class TestCapture:
     def test_only_target_captured(self, rig):
         system, facility = rig
-        neighbour = get_workload("de").spawn(system, cpuset=[0, 1], seed=8)
+        get_workload("de").spawn(system, cpuset=[0, 1], seed=8)
         target, session = start_session(system, facility, cpuset=(0, 1))
         system.run_for(150 * MSEC)
         pids = {s.pid for s in session.segments}
@@ -192,3 +191,41 @@ class TestConcurrentSessions:
         system.run_for(180 * MSEC)
         assert {seg.cr3 for seg in sa.segments} == {a.cr3}
         assert {seg.cr3 for seg in sb.segments} == {b.cr3}
+
+
+class TestSchedFaultTap:
+    def test_drop_tap_suppresses_side_records(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        dropped = []
+
+        def drop_all(sess, five_tuple):
+            dropped.append(five_tuple)
+            return None
+
+        facility.otc.sched_fault = drop_all
+        system.run_for(150 * MSEC)
+        assert dropped
+        assert session.sched_records == []
+
+    def test_delay_tap_shifts_timestamps(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        originals = []
+
+        def delay(sess, five_tuple):
+            originals.append(five_tuple[0])
+            return (five_tuple[0] + 123,) + tuple(five_tuple[1:])
+
+        facility.otc.sched_fault = delay
+        system.run_for(150 * MSEC)
+        assert session.sched_records
+        recorded = [record[0] for record in session.sched_records]
+        assert recorded == [ts + 123 for ts in originals]
+
+    def test_no_tap_keeps_records(self, rig):
+        system, facility = rig
+        target, session = start_session(system, facility, period_ms=100)
+        assert facility.otc.sched_fault is None
+        system.run_for(150 * MSEC)
+        assert session.sched_records

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import ExistConfig, TraceReason, TracingRequest
 from repro.core.rco import (
+    CoverageMetric,
     Repetition,
     RepetitionAwareCoverageOptimizer,
     SpatialSampler,
@@ -164,3 +165,39 @@ class TestOrchestration:
             profile, make_reps(10),
         )
         assert anomaly.estimated_cost > profiling.estimated_cost
+
+
+class TestResample:
+    def test_replacements_avoid_excluded_uids(self):
+        sampler = SpatialSampler(seed=2)
+        reps = make_reps(6)
+        exclude = {"pod-0", "pod-1"}
+        picked = sampler.resample(reps, 2, exclude=exclude)
+        assert len(picked) == 2
+        assert not {r.pod_uid for r in picked} & exclude
+
+    def test_capped_by_pool_size(self):
+        sampler = SpatialSampler(seed=2)
+        reps = make_reps(3)
+        picked = sampler.resample(reps, 10, exclude={"pod-0"})
+        assert {r.pod_uid for r in picked} == {"pod-1", "pod-2"}
+
+    def test_empty_pool_or_zero_count(self):
+        sampler = SpatialSampler(seed=2)
+        assert sampler.resample(make_reps(2), 0) == []
+        assert sampler.resample(make_reps(2), 1, exclude={"pod-0", "pod-1"}) == []
+
+
+class TestCoverageMetric:
+    def test_full_coverage_not_degraded(self):
+        metric = CoverageMetric(requested=3, achieved=3)
+        assert metric.fraction == 1.0
+        assert not metric.degraded
+
+    def test_shortfall_is_degraded(self):
+        metric = CoverageMetric(requested=4, achieved=1)
+        assert metric.fraction == 0.25
+        assert metric.degraded
+
+    def test_zero_requested_counts_as_full(self):
+        assert CoverageMetric(requested=0, achieved=0).fraction == 1.0

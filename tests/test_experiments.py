@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.scenarios import (
-    SCHEME_FACTORIES,
     SCHEME_ORDER,
     make_scheme,
     run_compute_slowdown,

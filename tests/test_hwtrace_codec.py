@@ -12,11 +12,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.hwtrace.codec import (
-    ScannedStream,
-    scan_stream,
-    scan_stream_resilient,
-)
+from repro.hwtrace.codec import scan_stream, scan_stream_resilient
 from repro.hwtrace.decoder import (
     DecodedTrace,
     SoftwareDecoder,

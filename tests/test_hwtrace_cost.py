@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hwtrace.cost import CostLedger, CostModel
+from repro.hwtrace.cost import CostModel
 from repro.util.units import MIB
 
 

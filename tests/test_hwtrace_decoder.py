@@ -1,6 +1,5 @@
 """Unit tests for trace serialization and the software decoder."""
 
-import pytest
 
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
 from repro.hwtrace.tracer import TraceSegment

@@ -87,3 +87,40 @@ class TestReset:
         assert not output.stopped
         assert output.written == 0
         assert output.write(100) == 100
+
+
+class TestConstrain:
+    """Memory-pressure shrinking (the fault injector's exhaust path)."""
+
+    def test_constrain_removes_capacity(self):
+        output = ToPAOutput.single_region(MIB)
+        removed = output.constrain(0.5)
+        assert removed > 0
+        assert output.capacity == MIB - removed
+
+    def test_constrain_latches_stop_when_already_consumed(self):
+        output = ToPAOutput.single_region(64 * 4096)
+        output.write(40 * 4096)
+        output.constrain(0.9)
+        assert output.stopped
+        assert output.overflowed
+        assert output.written == output.capacity
+
+    def test_constrain_keeps_written_bytes(self):
+        output = ToPAOutput.single_region(64 * 4096)
+        output.write(2 * 4096)
+        output.constrain(0.5)
+        assert output.written == 2 * 4096
+        assert not output.stopped
+
+    def test_constrain_never_below_one_page(self):
+        output = ToPAOutput.single_region(4096)
+        assert output.constrain(0.99) == 0
+        assert output.capacity == 4096
+
+    def test_invalid_fraction_rejected(self):
+        output = ToPAOutput.single_region(4096)
+        with pytest.raises(ValueError):
+            output.constrain(1.0)
+        with pytest.raises(ValueError):
+            output.constrain(-0.1)

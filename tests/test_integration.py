@@ -11,7 +11,7 @@ from repro.cluster.node import ClusterNode
 from repro.core.config import TraceReason
 from repro.experiments.scenarios import run_traced_execution
 from repro.tracing.ebpf import EbpfScheme
-from repro.util.units import MSEC, SEC
+from repro.util.units import MSEC
 
 
 class TestAccuracyPipeline:
@@ -92,13 +92,6 @@ class TestCaseStudyDiagnosis:
         )
         artifacts = run.artifacts
         assert artifacts.syscall_log
-        # EXIST's five-tuples come from a parallel EXIST run; here we use
-        # the scheduler switch log as the scheduling ground truth
-        system = run.system
-        sched_records = [
-            (t.wakeups, 0, 0, 0, "unused")  # placeholder shape check only
-            for t in run.target.threads
-        ]
         file_writes = [
             entry for entry in artifacts.syscall_log if entry[3] == "file_write"
         ]

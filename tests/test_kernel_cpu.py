@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel.cpu import CpuTopology, InterferenceModel, LogicalCore
+from repro.kernel.cpu import CpuTopology, InterferenceModel
 from repro.kernel.task import Process
 
 

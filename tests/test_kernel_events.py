@@ -176,3 +176,34 @@ class TestRunUntil:
         sim.schedule(2, lambda: None)
         sim.run_until_idle()
         assert sim.events_fired == 2
+
+
+class TestHalt:
+    def test_halted_clock_does_not_advance(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(500, lambda: fired.append("a"))
+        sim.halt()
+        sim.run_until(1000)
+        assert fired == []
+        assert sim.now == 0
+
+    def test_halt_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, sim.halt)
+        sim.schedule(200, lambda: fired.append("late"))
+        sim.run_until(1000)
+        assert fired == []
+        assert sim.now == 100
+
+    def test_resume_releases_queued_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, sim.halt)
+        sim.schedule(200, lambda: fired.append("late"))
+        sim.run_until(1000)
+        sim.resume()
+        sim.run_until(1000)
+        assert fired == ["late"]
+        assert sim.now == 1000

@@ -17,7 +17,7 @@ from repro.kernel.task import (
     ThreadState,
 )
 from repro.kernel.tracepoints import SCHED_SWITCH
-from repro.util.units import MSEC, SEC
+from repro.util.units import MSEC
 
 
 class FakeEngine:

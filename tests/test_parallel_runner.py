@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.parallel import CellResult, MatrixCell, RunPool, grid, run_matrix
+from repro.parallel import CellResult, RunPool, grid, run_matrix
 from repro.parallel.matrix import warmup_for
 from repro.parallel.pool import _fork_available
 

@@ -6,7 +6,6 @@ from repro.program.execution import ProgramExecution, ServerLoopExecution
 from repro.program.workloads import (
     WORKLOADS,
     ProvisioningMode,
-    WorkloadKind,
     compute_workloads,
     get_workload,
     online_workloads,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.config import ExistConfig, TracingRequest
+from repro.core.config import ExistConfig
 from repro.core.uma import CoresetSampler
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.execution import ProgramExecution

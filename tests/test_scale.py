@@ -6,7 +6,6 @@ core tracer installation, CPU-share coreset sampling over a wide MCS, and
 the UMA budget arithmetic when the per-core floor binds.
 """
 
-import pytest
 
 from repro.core.config import ExistConfig, TracingRequest
 from repro.core.facility import ExistFacility
@@ -28,7 +27,7 @@ class TestFullSizeNodes:
         keeps the traced set near the occupied cores, and the session's
         MSR operations stay O(#traced cores), not O(128) x switches."""
         system = KernelSystem(SystemConfig.icelake_node(seed=1))
-        target = get_workload("Search2").spawn(system, seed=1)
+        get_workload("Search2").spawn(system, seed=1)
         system.run_for(30 * MSEC)
         facility = ExistFacility(system, ExistConfig())
         facility.install()
@@ -48,7 +47,7 @@ class TestFullSizeNodes:
         4 MiB floor, so UMA clamps up and the spend exceeds the nominal
         budget only by the documented floor rule."""
         system = KernelSystem(SystemConfig.icelake_node(seed=1))
-        target = variant(
+        variant(
             get_workload("Search1"), n_threads=4
         ).spawn(system, cpuset=list(range(64)), seed=1)
         config = ExistConfig(session_budget_bytes=128 * MIB)

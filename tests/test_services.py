@@ -6,7 +6,7 @@ from repro.services.graph import CallEdge, ServiceGraph, ServiceSpec
 from repro.services.latency import QueueingSimulator
 from repro.services.loadgen import ClosedLoopClients, PoissonArrivals
 from repro.services.rpc import RequestTrace, Span
-from repro.util.units import MSEC, USEC
+from repro.util.units import USEC
 
 
 def two_tier_graph(workers=4, service_us=100):
