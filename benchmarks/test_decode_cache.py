@@ -1,0 +1,137 @@
+"""Decode-cache benchmark: repeated-replica reconcile decode.
+
+Builds the repetition scenario RCO exploits — several replicas of one
+service whose trace streams differ only in timestamps and CR3s — and
+decodes the fleet three ways: uncached, with a cold cache (first pass
+still decodes one replica's worth of unique bodies), and with a warm
+cache (every body served from cache).  Writes MB/s for each to
+``BENCH_decode_cache.json`` at the repository root.  The warm cached
+decode must beat the uncached decode by >= 3x, and every cached result
+must be byte-identical to the uncached one.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import emit
+
+from repro.hwtrace.cache import DecodeCache
+from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
+from repro.hwtrace.tracer import TraceSegment
+from repro.program.binary import FunctionCategory
+from repro.program.generator import BinaryShape, generate_binary
+from repro.program.path import PathModel
+from repro.util.bench import write_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EVENTS_PER_SEGMENT = 4096
+SEGMENTS_PER_REPLICA = 60
+REPLICAS = 8
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _build_fleet():
+    """One binary, REPLICAS streams identical modulo t_start and CR3."""
+    shape = BinaryShape(
+        n_functions=16,
+        blocks_per_function_mean=6.0,
+        category_weights={FunctionCategory.APP: 1.0},
+    )
+    binary = generate_binary("cachebench", shape, seed=3)
+    path = PathModel(binary, seed=3, length=1 << 16, stride=1024)
+    cycle = 1 << 16
+
+    def replica_stream(t_base: int, cr3: int) -> bytes:
+        segments = [
+            TraceSegment(
+                core_id=0, pid=1, tid=2, cr3=cr3,
+                t_start=t_base + i * 1000, t_end=t_base + i * 1000 + 999,
+                event_start=(i * EVENTS_PER_SEGMENT) % cycle,
+                event_end=(i * EVENTS_PER_SEGMENT) % cycle + EVENTS_PER_SEGMENT,
+                captured_event_end=(i * EVENTS_PER_SEGMENT) % cycle
+                + EVENTS_PER_SEGMENT,
+                bytes_offered=1.0, bytes_accepted=1.0,
+                path_model=path,
+            )
+            for i in range(SEGMENTS_PER_REPLICA)
+        ]
+        return encode_trace(segments)
+
+    cr3s = [0x1000 + 0x1000 * r for r in range(REPLICAS)]
+    streams = [
+        replica_stream(10**6 * r, cr3) for r, cr3 in enumerate(cr3s)
+    ]
+    return {cr3: binary for cr3 in cr3s}, streams
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_decode_cache_speedup():
+    binaries, streams = _build_fleet()
+    total_mb = sum(len(s) for s in streams) / 1e6
+
+    plain = SoftwareDecoder(binaries)
+    plain.decode(streams[0])  # warm numpy / allocator
+    reference, t_uncached = _timed(
+        lambda: [plain.decode(s) for s in streams]
+    )
+
+    cache = DecodeCache()
+    cached = SoftwareDecoder(binaries, cache=cache)
+    cold, t_cold = _timed(lambda: [cached.decode(s) for s in streams])
+    warm, t_warm = _timed(lambda: [cached.decode(s) for s in streams])
+
+    for ref, result in zip(reference, cold + warm):
+        assert np.array_equal(ref.timestamps, result.timestamps)
+        assert np.array_equal(ref.cr3s, result.cr3s)
+        assert np.array_equal(ref.block_ids, result.block_ids)
+        assert np.array_equal(ref.function_ids, result.function_ids)
+        assert ref.overflows == result.overflows
+        assert ref.unresolved == result.unresolved
+
+    stats = cache.stats()
+    metrics = {
+        "stream_mb": round(total_mb, 3),
+        "replicas": REPLICAS,
+        "uncached_mb_s": round(total_mb / t_uncached, 2),
+        "cached_cold_mb_s": round(total_mb / t_cold, 2),
+        "cached_warm_mb_s": round(total_mb / t_warm, 2),
+        "cold_speedup": round(t_uncached / t_cold, 2),
+        "warm_speedup": round(t_uncached / t_warm, 2),
+        "hit_rate": stats["hit_rate"],
+        "cache_entries": stats["entries"],
+    }
+    report = write_bench(
+        REPO_ROOT / "BENCH_decode_cache.json", "decode_cache", metrics
+    )["metrics"]
+
+    emit(f"Decode cache ({REPLICAS} replicas, {total_mb:.1f} MB total)")
+    emit(f"{'path':<20}{'MB/s':>12}{'speedup':>12}")
+    emit(f"{'uncached':<20}{report['uncached_mb_s']:>12.1f}{'1.0x':>12}")
+    emit(
+        f"{'cached cold':<20}{report['cached_cold_mb_s']:>12.1f}"
+        f"{report['cold_speedup']:>11.1f}x"
+    )
+    emit(
+        f"{'cached warm':<20}{report['cached_warm_mb_s']:>12.1f}"
+        f"{report['warm_speedup']:>11.1f}x"
+    )
+    emit(
+        f"hit rate {report['hit_rate']:.1%}, "
+        f"{report['cache_entries']} entries"
+    )
+
+    assert report["hit_rate"] > 0.9, (
+        f"replica bodies should dedupe; hit rate {report['hit_rate']:.1%}"
+    )
+    assert report["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm cached decode only {report['warm_speedup']:.1f}x faster; "
+        f"need >= {MIN_WARM_SPEEDUP:.0f}x"
+    )

@@ -130,6 +130,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_stats_line(stats) -> str:
+    """One-line decode-cache summary for CLI output."""
+    line = (
+        f"decode cache: {stats['hits']} hits / {stats['misses']} misses "
+        f"({stats['hit_rate']:.1%} hit rate, "
+        f"{fmt_bytes(stats['bytes_saved'])} re-decode avoided)"
+    )
+    if stats["fallbacks"]:
+        # corrupt / non-canonical streams bypass the cache entirely
+        line += f", {stats['fallbacks']} fallbacks"
+    return line
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterMaster, ClusterNode, TraceTaskSpec
     from repro.core.config import TraceReason
@@ -140,7 +153,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
         if not plan:
             plan = None
-    master = ClusterMaster(seed=args.seed)
+    master = ClusterMaster(seed=args.seed, decode_cache=args.decode_cache)
     for index in range(args.nodes):
         master.add_node(ClusterNode(f"node-{index:02d}", seed=index))
     master.deploy(args.app, replicas=args.replicas)
@@ -175,6 +188,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"degradation report written to {args.degradation_json}")
+    cache_stats = master.decode_cache_stats()
+    if cache_stats is not None:
+        print(_cache_stats_line(cache_stats))
     footprint = master.management_footprint()
     print(f"management pod: {footprint.cpu_cores:.1e} cores, "
           f"{footprint.memory_mb:.0f} MB")
@@ -194,6 +210,7 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         seed=args.seed,
         jobs=args.jobs,
+        decode_cache=args.decode_cache,
     )
     phases = ", ".join(
         f"{phase}={count}" for phase, count in sorted(sweep["phases"].items())
@@ -202,6 +219,12 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
     print(f"  phases:         {phases}")
     print(f"  mean coverage:  {sweep['mean_coverage_fraction']:.1%}")
     print(f"  bytes dropped:  {fmt_bytes(sweep['total_bytes_dropped'])}")
+    if args.decode_cache:
+        from repro.hwtrace.cache import process_decode_cache
+
+        # every run's master shares the process-wide cache, so hits
+        # accumulate across seeds — exactly the repetition premise
+        print("  " + _cache_stats_line(process_decode_cache().stats()))
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(sweep, handle, indent=2, sort_keys=True)
@@ -263,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--degradation-json", default="",
         help="write the task's DegradationReport JSON to this path",
     )
+    cluster.add_argument(
+        "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="repetition-aware decode cache for the reconcile decode",
+    )
 
     chaos = sub.add_parser(
         "chaos-sweep",
@@ -282,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for trace decoding")
     chaos.add_argument("--json", default="",
                        help="write the sweep report JSON to this path")
+    chaos.add_argument(
+        "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
+        help="repetition-aware decode cache shared across the sweep's runs",
+    )
     return parser
 
 

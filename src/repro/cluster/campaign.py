@@ -137,6 +137,10 @@ class ProfilingCampaign:
             report[app] = progress.coverage_fraction(cycle)
         return report
 
+    def decode_cache_stats(self) -> Optional[Dict[str, object]]:
+        """The master's decode-cache counters (``None`` when disabled)."""
+        return self.master.decode_cache_stats()
+
 
 # ---------------------------------------------------------------------------
 # replicated campaigns (parallel fan-out)

@@ -32,7 +32,8 @@ from repro.core.rco import (
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
-from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
+from repro.hwtrace.cache import DecodeCache, process_decode_cache
+from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace
 from repro.parallel.pool import RunPool
 from repro.program.workloads import WorkloadProfile, get_workload
 from repro.util.units import MIB, MSEC
@@ -44,24 +45,29 @@ from repro.util.units import MIB, MSEC
 _WORKER_DECODERS: Dict[str, SoftwareDecoder] = {}
 
 
-def _decode_session(
-    payload: Tuple[str, Tuple[int, ...], bytes],
-) -> Tuple[int, int, int, int]:
-    """Decode one session's raw bytes.
+def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes, bool]):
+    """Decode one session's raw bytes in a pool worker.
 
-    Returns (records, functions, resyncs, bytes_skipped) — everything the
-    degradation accounting needs, so pooled and sequential decode paths
-    produce identical reports.
+    Returns the decoded trace as shipped SoA columns (shared memory when
+    available); the parent derives the degradation accounting from them,
+    so pooled and sequential decode paths produce identical reports.
+    ``use_cache`` attaches the worker's process-wide decode cache —
+    forked workers inherit the parent's warm entries copy-on-write.
     """
-    app, cr3s, raw = payload
+    app, cr3s, raw, use_cache = payload
     decoder = _WORKER_DECODERS.get(app)
     if decoder is None:
         decoder = SoftwareDecoder({})
         _WORKER_DECODERS[app] = decoder
+    decoder.cache = process_decode_cache() if use_cache else None
     binary = get_workload(app).binary()
     for cr3 in cr3s:
         decoder.add_binary(cr3, binary)
-    decoded = decoder.decode(raw, resilient=True)
+    return decoder.decode(raw, resilient=True).to_shipped()
+
+
+def _session_stats(decoded: DecodedTrace) -> Tuple[int, int, int, int]:
+    """(records, functions, resyncs, bytes_skipped) for one decoded trace."""
     return (
         len(decoded),
         len(decoded.function_histogram()),
@@ -124,8 +130,23 @@ class ClusterMaster:
     MGMT_CPU_PER_TASK = 2e-3
     MGMT_MEMORY_PER_TASK = int(0.2 * MIB)
 
-    def __init__(self, exist_config: Optional[ExistConfig] = None, seed: int = 0):
+    def __init__(
+        self,
+        exist_config: Optional[ExistConfig] = None,
+        seed: int = 0,
+        decode_cache=True,
+    ):
         self.exist_config = exist_config or ExistConfig()
+        #: repetition-aware decode cache shared by every task this master
+        #: reconciles: True -> the process-wide cache (shared across
+        #: masters and campaigns), a DecodeCache -> that instance,
+        #: False/None -> uncached decode
+        if decode_cache is True:
+            self.decode_cache: Optional[DecodeCache] = process_decode_cache()
+        elif isinstance(decode_cache, DecodeCache):
+            self.decode_cache = decode_cache
+        else:
+            self.decode_cache = None
         self.nodes: Dict[str, ClusterNode] = {}
         self.deployments: Dict[str, Deployment] = {}
         self.rco = RepetitionAwareCoverageOptimizer(self.exist_config, seed=seed)
@@ -183,7 +204,7 @@ class ClusterMaster:
         """The app's shared decoder, its mapping extended to cover ``cr3s``."""
         decoder = self._decoders.get(app)
         if decoder is None:
-            decoder = SoftwareDecoder({})
+            decoder = SoftwareDecoder({}, cache=self.decode_cache)
             self._decoders[app] = decoder
         for cr3 in cr3s:
             decoder.add_binary(cr3, binary)
@@ -450,25 +471,22 @@ class ClusterMaster:
             and pool.parallel
             and binary is get_workload(app).binary()
         )
+        use_cache = self.decode_cache is not None
         payloads = [
-            (app, cr3s, self.object_store.get(key))
+            (app, cr3s, self.object_store.get(key), use_cache)
             for _, key, _, _, _, _ in uploads
         ]
         if fan_out:
             assert pool is not None
-            stats = pool.map(_decode_session, payloads)
+            stats = [
+                _session_stats(DecodedTrace.from_shipped(shipped))
+                for shipped in pool.map(_decode_session, payloads)
+            ]
         else:
-            stats = []
-            for payload in payloads:
-                decoded = decoder.decode(payload[2], resilient=True)
-                stats.append(
-                    (
-                        len(decoded),
-                        len(decoded.function_histogram()),
-                        decoded.resyncs,
-                        decoded.bytes_skipped,
-                    )
-                )
+            stats = [
+                _session_stats(decoder.decode(payload[2], resilient=True))
+                for payload in payloads
+            ]
 
         for (pod, key, raw_len, label, salvaged, dropped), (
             n_records,
@@ -519,6 +537,17 @@ class ClusterMaster:
         return task
 
     # -- management accounting (Fig 17) -----------------------------------------------
+
+    def decode_cache_stats(self) -> Optional[Dict[str, object]]:
+        """Decode-cache counters, or ``None`` when caching is disabled.
+
+        Pool fan-out caveat: forked workers warm their own (inherited)
+        cache copies, so only decodes run in this process move these
+        counters.
+        """
+        if self.decode_cache is None:
+            return None
+        return self.decode_cache.stats()
 
     def management_footprint(self) -> ManagementFootprint:
         """Current RCO management-pod resource usage."""

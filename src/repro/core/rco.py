@@ -19,7 +19,7 @@ repetition captured of the program's behaviour cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,21 +35,48 @@ Interval = Tuple[int, int]
 # interval algebra (coverage bookkeeping)
 # ---------------------------------------------------------------------------
 
+_EMPTY_IVALS = np.empty((0, 2), dtype=np.int64)
+
+
+def _interval_array(intervals: Iterable[Interval]) -> np.ndarray:
+    """Half-open intervals as an ``(n, 2)`` int64 array, empties dropped."""
+    if isinstance(intervals, np.ndarray):
+        arr = intervals.astype(np.int64, copy=False).reshape(-1, 2)
+    else:
+        items = list(intervals)
+        if not items:
+            return _EMPTY_IVALS
+        arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+    return arr[arr[:, 1] > arr[:, 0]]
+
+
+def _merge_array(arr: np.ndarray) -> np.ndarray:
+    """Union of an ``(n, 2)`` interval array, sorted and coalesced.
+
+    Sort by start, running-max the ends, and break runs where a start
+    exceeds the furthest end seen so far — no per-interval Python loop.
+    """
+    if arr.shape[0] <= 1:
+        return arr
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    starts = arr[order, 0]
+    ends = np.maximum.accumulate(arr[order, 1])
+    breaks = np.flatnonzero(starts[1:] > ends[:-1]) + 1
+    group_starts = np.concatenate(([0], breaks))
+    group_ends = np.concatenate((breaks - 1, [starts.size - 1]))
+    return np.column_stack((starts[group_starts], ends[group_ends]))
+
+
 def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
     """Union of half-open intervals, sorted and coalesced."""
-    items = sorted((int(a), int(b)) for a, b in intervals if b > a)
-    merged: List[Interval] = []
-    for start, end in items:
-        if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-        else:
-            merged.append((start, end))
-    return merged
+    merged = _merge_array(_interval_array(intervals))
+    return [(int(a), int(b)) for a, b in merged.tolist()]
 
 
 def interval_length(intervals: Iterable[Interval]) -> int:
     """Total covered length of an interval union."""
-    return sum(b - a for a, b in merge_intervals(intervals))
+    merged = _merge_array(_interval_array(intervals))
+    return int((merged[:, 1] - merged[:, 0]).sum()) if merged.size else 0
 
 
 def interval_intersection(
@@ -192,49 +219,98 @@ class AugmentedCoverage:
     #: events present in >1 worker (redundancy removed by the merge)
     redundant_events: int
     workers: int
+    #: per worker, events only that worker captured (its unique contribution)
+    per_worker_unique: List[int] = field(default_factory=list)
 
     def coverage_of_cycle(self, cycle_length: int) -> float:
         """Fraction of the canonical behaviour cycle covered (0..1).
 
         Workers capture absolute event indices; behaviour repeats every
         ``cycle_length`` events, so coverage is measured modulo the cycle.
+        Computed analytically on interval endpoints — cost is independent
+        of ``cycle_length``.
         """
         if cycle_length <= 0:
             raise ValueError("cycle length must be positive")
-        covered = np.zeros(cycle_length, dtype=bool)
-        for start, end in self.merged:
-            span = end - start
-            if span >= cycle_length:
-                return 1.0
-            lo = start % cycle_length
-            hi = end % cycle_length
-            if lo < hi:
-                covered[lo:hi] = True
-            else:
-                covered[lo:] = True
-                covered[:hi] = True
-        return float(covered.mean())
+        arr = _interval_array(self.merged)
+        if not arr.size:
+            return 0.0
+        starts, ends = arr[:, 0], arr[:, 1]
+        if int((ends - starts).max()) >= cycle_length:
+            return 1.0
+        lo = starts % cycle_length
+        hi = ends % cycle_length
+        # spans shorter than the cycle fold into one piece (lo < hi) or,
+        # when they straddle the cycle boundary, two: [lo, c) and [0, hi)
+        wrap = hi < lo
+        pieces = [np.column_stack((lo[~wrap], hi[~wrap]))]
+        if wrap.any():
+            pieces.append(
+                np.column_stack((lo[wrap], np.full(wrap.sum(), cycle_length)))
+            )
+            pieces.append(np.column_stack((np.zeros(wrap.sum(), np.int64), hi[wrap])))
+        folded = _merge_array(_interval_array(np.concatenate(pieces)))
+        covered = int((folded[:, 1] - folded[:, 0]).sum()) if folded.size else 0
+        return covered / cycle_length
+
+
+def _unique_contributions(worker_arrays: Sequence[np.ndarray]) -> List[int]:
+    """Events each worker alone captured, via a boundary sweep.
+
+    Between consecutive endpoint values coverage depth is constant, so it
+    suffices to count depth per elementary segment (starts-minus-ends at
+    the segment's left edge) and attribute depth-1 segments to whichever
+    worker's merged intervals contain them.
+    """
+    non_empty = [arr for arr in worker_arrays if arr.size]
+    if not non_empty:
+        return [0] * len(worker_arrays)
+    stacked = np.concatenate(non_empty)
+    points = np.unique(stacked)
+    if points.size < 2:
+        return [0] * len(worker_arrays)
+    seg_lo, seg_hi = points[:-1], points[1:]
+    sorted_starts = np.sort(stacked[:, 0])
+    sorted_ends = np.sort(stacked[:, 1])
+    depth = np.searchsorted(sorted_starts, seg_lo, "right") - np.searchsorted(
+        sorted_ends, seg_lo, "right"
+    )
+    solo = depth == 1
+    unique: List[int] = []
+    for arr in worker_arrays:
+        if not arr.size or not solo.any():
+            unique.append(0)
+            continue
+        idx = np.searchsorted(arr[:, 0], seg_lo, "right") - 1
+        inside = (idx >= 0) & (seg_lo < arr[np.maximum(idx, 0), 1])
+        unique.append(int((seg_hi - seg_lo)[solo & inside].sum()))
+    return unique
 
 
 def augment_traces(
     worker_coverages: Sequence[Sequence[Interval]],
 ) -> AugmentedCoverage:
     """Merge per-worker coverage: de-duplicate overlaps, fill gaps (§3.4)."""
-    all_intervals: List[Interval] = []
-    per_worker = []
-    for coverage in worker_coverages:
-        merged_worker = merge_intervals(coverage)
-        per_worker.append(interval_length(merged_worker))
-        all_intervals.extend(merged_worker)
-    merged = merge_intervals(all_intervals)
-    union = interval_length(merged)
+    worker_arrays = [
+        _merge_array(_interval_array(coverage)) for coverage in worker_coverages
+    ]
+    per_worker = [
+        int((arr[:, 1] - arr[:, 0]).sum()) if arr.size else 0
+        for arr in worker_arrays
+    ]
+    if worker_arrays:
+        merged_arr = _merge_array(np.concatenate(worker_arrays))
+    else:
+        merged_arr = _EMPTY_IVALS
+    union = int((merged_arr[:, 1] - merged_arr[:, 0]).sum()) if merged_arr.size else 0
     redundant = sum(per_worker) - union
     return AugmentedCoverage(
-        merged=merged,
+        merged=[(int(a), int(b)) for a, b in merged_arr.tolist()],
         per_worker_events=per_worker,
         union_events=union,
         redundant_events=max(0, redundant),
         workers=len(per_worker),
+        per_worker_unique=_unique_contributions(worker_arrays),
     )
 
 

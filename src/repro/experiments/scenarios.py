@@ -255,6 +255,7 @@ def run_chaos_scenario(
     pool=None,
     retry_policy=None,
     reset_identities: bool = True,
+    decode_cache=True,
 ) -> Dict:
     """One seeded chaos reconcile on a fresh cluster; returns plain data.
 
@@ -266,6 +267,12 @@ def run_chaos_scenario(
     structured rows — byte-comparable across runs and across ``jobs``
     (identity counters are reset first unless ``reset_identities`` is
     False, so repeated in-process runs replay identically).
+
+    ``decode_cache`` (True, False, or a
+    :class:`~repro.hwtrace.cache.DecodeCache`) controls the master's
+    repetition-aware decode cache.  Cache counters stay out of the
+    returned dict — cached and uncached decodes are byte-identical, so
+    the dict remains comparable across cache settings and ``jobs``.
     """
     from repro.cluster.crd import TraceTaskSpec
     from repro.cluster.master import ClusterMaster, RetryPolicy
@@ -279,7 +286,7 @@ def run_chaos_scenario(
         reset_identity_counters()
     plan = FaultPlan.parse(faults, seed=fault_seed)
     policy = retry_policy or RetryPolicy(restart_crashed_nodes=False)
-    master = ClusterMaster(seed=seed)
+    master = ClusterMaster(seed=seed, decode_cache=decode_cache)
     for index in range(nodes):
         master.add_node(ClusterNode(f"node-{index:02d}", seed=seed * 100 + index))
     master.deploy(app, replicas=replicas if replicas is not None else nodes)
@@ -323,6 +330,7 @@ def chaos_sweep(
     replicas: Optional[int] = None,
     seed: int = 11,
     jobs: int = 1,
+    decode_cache=True,
 ) -> Dict:
     """Run the chaos scenario across fault seeds; aggregate the damage.
 
@@ -340,6 +348,7 @@ def chaos_sweep(
             replicas=replicas,
             seed=seed,
             jobs=jobs,
+            decode_cache=decode_cache,
         )
         for fault_seed in fault_seeds
     ]

@@ -49,6 +49,11 @@ from repro.hwtrace.codec import (
     scan_stream,
     scan_stream_resilient,
 )
+from repro.hwtrace.cache import (
+    DecodeCache,
+    binary_fingerprint,
+    process_decode_cache,
+)
 from repro.hwtrace.topa import ToPAEntry, ToPAOutput, OutputMode
 from repro.hwtrace.tracer import CoreTracer, TraceSegment, VolumeModel
 from repro.hwtrace.decoder import (
@@ -91,4 +96,7 @@ __all__ = [
     "DecodedTrace",
     "DecodedRecord",
     "encode_trace",
+    "DecodeCache",
+    "binary_fingerprint",
+    "process_decode_cache",
 ]

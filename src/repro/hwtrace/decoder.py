@@ -28,11 +28,21 @@ reference implementation for golden comparisons.
 
 from __future__ import annotations
 
+import hashlib
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hwtrace.cache import (
+    CHUNK_HEADER_BYTES,
+    UNKNOWN_BINARY_FP,
+    ChunkEntry,
+    DecodeCache,
+    binary_fingerprint,
+    plan_chunks,
+    process_decode_cache,
+)
 from repro.hwtrace.codec import (
     KIND_OVF,
     KIND_PIP,
@@ -41,6 +51,7 @@ from repro.hwtrace.codec import (
     KIND_TNT,
     KIND_TSC,
     ScannedStream,
+    _le6,
     encode_event_records,
     scan_stream,
     scan_stream_resilient,
@@ -63,6 +74,14 @@ from repro.hwtrace.tracer import TraceSegment
 from repro.program.binary import Binary
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+#: TIP header byte of an 8-byte event record (codec framing)
+_TIP_HEADER_BYTE = 0x0D
+
+#: shared entry for canonical chunks with no event records
+_EMPTY_ENTRY = ChunkEntry(
+    block_ids=_EMPTY_I64, function_ids=_EMPTY_I64, unresolved=0, n_records=0
+)
 
 
 def encode_trace(segments: Sequence[TraceSegment]) -> bytes:
@@ -229,6 +248,50 @@ class DecodedTrace:
     def __len__(self) -> int:
         return int(self.block_ids.size)
 
+    # -- pool transport (zero-copy handoff of the SoA columns) -------------
+
+    def to_shipped(self):
+        """Package the trace for a pool-worker -> parent handoff.
+
+        The four SoA columns travel through shared memory (see
+        :mod:`repro.parallel.transport`); the scalar counters and the
+        (small) ptwrite list ride in the metadata.
+        """
+        from repro.parallel.transport import ShippedArrays
+
+        return ShippedArrays(
+            {
+                "timestamps": self.timestamps,
+                "cr3s": self.cr3s,
+                "block_ids": self.block_ids,
+                "function_ids": self.function_ids,
+            },
+            meta={
+                "overflows": self.overflows,
+                "unresolved": self.unresolved,
+                "resyncs": self.resyncs,
+                "bytes_skipped": self.bytes_skipped,
+                "ptwrites": list(self.ptwrites),
+            },
+        )
+
+    @classmethod
+    def from_shipped(cls, shipped) -> "DecodedTrace":
+        """Rebuild a trace from a :class:`ShippedArrays` handoff."""
+        arrays = shipped.unpack()
+        meta = shipped.meta
+        return cls(
+            timestamps=arrays["timestamps"],
+            cr3s=arrays["cr3s"],
+            block_ids=arrays["block_ids"],
+            function_ids=arrays["function_ids"],
+            overflows=int(meta["overflows"]),
+            unresolved=int(meta["unresolved"]),
+            resyncs=int(meta["resyncs"]),
+            ptwrites=[tuple(p) for p in meta["ptwrites"]],
+            bytes_skipped=int(meta["bytes_skipped"]),
+        )
+
 
 class SoftwareDecoder:
     """Reconstructs execution flow from packet bytes and binaries.
@@ -236,14 +299,28 @@ class SoftwareDecoder:
     ``binaries`` maps CR3 values to program binaries, mirroring how the
     production decoder fetches binaries from the binary repository keyed
     by the traced process (§4).
+
+    ``cache`` (optional) enables the repetition-aware decode cache: the
+    stream is split on PSB boundaries and chunks whose bodies were seen
+    before — from *any* decoder sharing the cache — skip reconstruction
+    entirely (see :mod:`repro.hwtrace.cache`).  Results are byte-identical
+    to the uncached path; non-canonical or corrupt streams transparently
+    fall back to it.
     """
 
-    def __init__(self, binaries: Mapping[int, Binary]):
+    def __init__(
+        self,
+        binaries: Mapping[int, Binary],
+        cache: Optional[DecodeCache] = None,
+    ):
         self._binaries: Dict[int, Binary] = {}
         self._address_maps: Dict[int, Dict[int, int]] = {}
         # sorted-address tables for vectorized TIP resolution:
         # cr3 -> (sorted addresses, block id per sorted slot, function ids)
         self._tables: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # cr3 -> content fingerprint of its binary (decode-cache keying)
+        self._fingerprints: Dict[int, bytes] = {}
+        self.cache = cache
         for cr3, binary in binaries.items():
             self.add_binary(cr3, binary)
 
@@ -252,7 +329,10 @@ class SoftwareDecoder:
 
         Lets one decoder be reused across tasks as new pods appear:
         extending the mapping costs one address-table build, while the
-        tables for already-known processes stay warm.
+        tables for already-known processes stay warm.  Replacing a binary
+        also replaces the CR3's cache fingerprint, so decode-cache entries
+        produced under the old binary can never resolve against the new
+        one.
         """
         if self._binaries.get(cr3) is binary:
             return
@@ -267,6 +347,16 @@ class SoftwareDecoder:
             order.astype(np.int64),
             binary.block_function_ids,
         )
+        self._fingerprints[cr3] = binary_fingerprint(binary)
+
+    @property
+    def table_fingerprint(self) -> bytes:
+        """Fingerprint of the whole CR3 -> binary mapping (pool keying)."""
+        digest = hashlib.blake2b(digest_size=16)
+        for cr3 in sorted(self._fingerprints):
+            digest.update(int(cr3).to_bytes(8, "little", signed=False))
+            digest.update(self._fingerprints[cr3])
+        return digest.digest()
 
     @classmethod
     def for_processes(cls, processes: Iterable[object]) -> "SoftwareDecoder":
@@ -285,13 +375,183 @@ class SoftwareDecoder:
 
         ``resilient`` enables PSB resynchronization on corrupt input (the
         production decoder's behaviour); strict mode raises on bad
-        framing, which is what tests and integrity checks want.
+        framing, which is what tests and integrity checks want.  With a
+        :class:`DecodeCache` attached, repeated chunk bodies are served
+        from the cache (byte-identical results).
         """
+        if self.cache is not None:
+            return self._decode_cached(data, resilient)
+        return self._decode_uncached(data, resilient)
+
+    def _decode_uncached(self, data: bytes, resilient: bool) -> DecodedTrace:
         if resilient:
             scanned = scan_stream_resilient(data)
         else:
             scanned = scan_stream(data)
         return self._reconstruct(scanned)
+
+    # -- repetition-aware cached path --------------------------------------
+
+    def _decode_cached(self, data: bytes, resilient: bool) -> DecodedTrace:
+        """Chunk-level cached decode; falls back on anything non-canonical.
+
+        Only engages when the stream is a pure sequence of canonical
+        ``PSB TSC PIP (TNT TIP)* [OVF]`` chunks (everything
+        :func:`encode_trace` produces).  Each chunk's result then depends
+        only on (its CR3's binary, its body bytes) — the cache key — plus
+        the timestamp/CR3 re-based from its own header.  Any deviation
+        means context could leak across chunks, so the whole stream is
+        decoded by the ordinary scan instead: correctness never rests on
+        the cache.
+        """
+        cache = self.cache
+        assert cache is not None
+        if not data:
+            return DecodedTrace()
+        buf = np.frombuffer(data, dtype=np.uint8)
+        plan = plan_chunks(data, buf, PSB_BYTES)
+        if plan is None or not plan.all_canonical:
+            cache.note_fallback()
+            return self._decode_uncached(data, resilient)
+
+        starts = plan.starts.tolist()
+        ends = plan.ends.tolist()
+        tails = plan.tail_ovf.tolist()
+        bodies = [
+            data[start + CHUNK_HEADER_BYTES : end - (2 if tail else 0)]
+            for start, end, tail in zip(starts, ends, tails)
+        ]
+
+        # content-based validation of every event record in one pass; a
+        # cache hit implies its body already validated (same bytes), so
+        # this also guards first-time bodies before any entry is built
+        records = np.frombuffer(b"".join(bodies), dtype=np.uint8)
+        if records.size % 8:
+            cache.note_fallback()
+            return self._decode_uncached(data, resilient)
+        records = records.reshape(-1, 8)
+        if records.size and not (
+            ((records[:, 0] & 0x01) == 0)
+            & (records[:, 0] >= 4)
+            & (records[:, 1] == _TIP_HEADER_BYTE)
+        ).all():
+            cache.note_fallback()
+            return self._decode_uncached(data, resilient)
+
+        cr3s = plan.cr3s.tolist()
+        fingerprints = self._fingerprints
+        entries: List[Optional[ChunkEntry]] = []
+        miss_indices: List[int] = []
+        for index, body in enumerate(bodies):
+            if not body:
+                entries.append(_EMPTY_ENTRY)
+                continue
+            key = (
+                fingerprints.get(cr3s[index], UNKNOWN_BINARY_FP),
+                body,
+            )
+            entry = cache.get(key)
+            entries.append(entry)
+            if entry is None:
+                miss_indices.append(index)
+
+        if miss_indices:
+            self._decode_misses(
+                records, bodies, cr3s, entries, miss_indices, cache
+            )
+
+        lengths = np.fromiter(
+            (entry.block_ids.size for entry in entries),
+            np.int64,
+            len(entries),
+        )
+        if int(lengths.sum()) == 0:
+            block_ids = _EMPTY_I64
+            function_ids = _EMPTY_I64
+        else:
+            block_ids = np.concatenate([e.block_ids for e in entries])
+            function_ids = np.concatenate([e.function_ids for e in entries])
+        return DecodedTrace(
+            timestamps=np.repeat(plan.times, lengths),
+            cr3s=np.repeat(plan.cr3s, lengths),
+            block_ids=block_ids,
+            function_ids=function_ids,
+            overflows=int(np.count_nonzero(plan.tail_ovf)),
+            unresolved=sum(entry.unresolved for entry in entries),
+        )
+
+    def _decode_misses(
+        self,
+        records: np.ndarray,
+        bodies: List[bytes],
+        cr3s: List[int],
+        entries: List[Optional[ChunkEntry]],
+        miss_indices: List[int],
+        cache: DecodeCache,
+    ) -> None:
+        """Batch-decode the missed chunk bodies and insert cache entries.
+
+        All missed bodies resolve in one vectorized pass per distinct
+        CR3 (the same ``searchsorted`` the uncached reconstruction uses),
+        then split back per chunk.
+        """
+        record_counts = np.fromiter(
+            (len(body) >> 3 for body in bodies), np.int64, len(bodies)
+        )
+        record_offsets = np.concatenate(([0], np.cumsum(record_counts)))
+        miss_rows = np.concatenate(
+            [
+                np.arange(record_offsets[i], record_offsets[i + 1])
+                for i in miss_indices
+            ]
+        )
+        miss_records = records[miss_rows]
+        addresses = _le6(miss_records[:, 2:8]).astype(np.int64)
+        miss_counts = record_counts[miss_indices]
+        record_cr3s = np.repeat(
+            np.fromiter((cr3s[i] for i in miss_indices), np.int64, len(miss_indices)),
+            miss_counts,
+        )
+
+        resolved_blocks = np.full(addresses.size, -1, dtype=np.int64)
+        resolved_functions = np.full(addresses.size, -1, dtype=np.int64)
+        for cr3 in sorted(set(record_cr3s.tolist())):
+            table = self._tables.get(cr3)
+            if table is None:
+                continue
+            sorted_addresses, slot_block_ids, binary_function_ids = table
+            if sorted_addresses.size == 0:
+                continue
+            selected = record_cr3s == cr3
+            wanted = addresses[selected]
+            slots = np.searchsorted(sorted_addresses, wanted)
+            slots_clipped = np.minimum(slots, sorted_addresses.size - 1)
+            hits = sorted_addresses[slots_clipped] == wanted
+            blocks = np.where(hits, slot_block_ids[slots_clipped], -1)
+            resolved_blocks[selected] = blocks
+            resolved_functions[selected] = np.where(
+                hits, binary_function_ids[np.maximum(blocks, 0)], -1
+            )
+
+        fingerprints = self._fingerprints
+        boundaries = np.cumsum(miss_counts)[:-1]
+        for index, blocks, functions in zip(
+            miss_indices,
+            np.split(resolved_blocks, boundaries),
+            np.split(resolved_functions, boundaries),
+        ):
+            keep = blocks >= 0
+            entry = ChunkEntry(
+                block_ids=blocks[keep].copy(),
+                function_ids=functions[keep].copy(),
+                unresolved=int(blocks.size - np.count_nonzero(keep)),
+                n_records=int(blocks.size),
+            )
+            entries[index] = entry
+            cache.put(
+                (fingerprints.get(cr3s[index], UNKNOWN_BINARY_FP), bodies[index]),
+                entry,
+            )
 
     def _reconstruct(self, scanned: ScannedStream) -> DecodedTrace:
         """Turn scanned packet columns into a decoded SoA trace."""
@@ -373,6 +633,7 @@ class SoftwareDecoder:
         streams: Iterable[bytes],
         resilient: bool = False,
         max_workers: Optional[int] = None,
+        pool=None,
     ) -> DecodedTrace:
         """Decode several per-core streams and merge by timestamp.
 
@@ -382,15 +643,34 @@ class SoftwareDecoder:
         over the concatenated timestamp column.  All fields merge:
         records, overflows, unresolved, resyncs, and ptwrites (also
         timestamp-ordered); ``resilient`` applies to every stream.
+
+        ``pool`` (a :class:`repro.parallel.RunPool`) fans the per-stream
+        decode out across *processes* instead: workers rebuild this
+        decoder from the pickled binary mapping (memoized per mapping
+        fingerprint), decode against their process-wide decode cache when
+        this decoder carries one, and hand the SoA columns back through
+        shared memory (:mod:`repro.parallel.transport`) rather than the
+        result pipe.  The merged result is identical either way.
         """
         streams = list(streams)
-        if len(streams) <= 1:
+        if pool is not None and pool.parallel and len(streams) > 1:
+            payloads = [
+                (self._binaries, stream, resilient, self.cache is not None)
+                for stream in streams
+            ]
+            decoded = [
+                DecodedTrace.from_shipped(shipped)
+                for shipped in pool.map(_pool_decode_stream, payloads)
+            ]
+        elif len(streams) <= 1:
             decoded = [self.decode(s, resilient=resilient) for s in streams]
         else:
             workers = max_workers or min(len(streams), 8)
-            with ThreadPoolExecutor(max_workers=workers) as pool:
+            with ThreadPoolExecutor(max_workers=workers) as thread_pool:
                 decoded = list(
-                    pool.map(lambda s: self.decode(s, resilient=resilient), streams)
+                    thread_pool.map(
+                        lambda s: self.decode(s, resilient=resilient), streams
+                    )
                 )
         if not decoded:
             return DecodedTrace()
@@ -490,6 +770,30 @@ def encode_trace_objects(segments: Sequence[TraceSegment]) -> bytes:
         if segment.truncated:
             packets.append(OvfPacket())
     return encode_packets(packets)  # type: ignore[arg-type]
+
+
+#: worker-side decoder memo for decode_many's process fan-out, keyed by
+#: the binary-mapping fingerprint (rebuilt tables survive across items)
+_POOL_DECODERS: Dict[bytes, "SoftwareDecoder"] = {}
+
+
+def _pool_decode_stream(payload) -> object:
+    """Decode one stream in a pool worker; returns shipped SoA columns.
+
+    ``payload`` is ``(binaries, stream, resilient, use_cache)``.  The
+    decoder for a given binary mapping is built once per worker;
+    ``use_cache`` attaches the worker's process-wide decode cache so
+    repeated chunk bodies amortize across items and calls.
+    """
+    binaries, stream, resilient, use_cache = payload
+    probe = SoftwareDecoder(binaries)
+    key = probe.table_fingerprint
+    decoder = _POOL_DECODERS.get(key)
+    if decoder is None:
+        decoder = probe
+        _POOL_DECODERS[key] = decoder
+    decoder.cache = process_decode_cache() if use_cache else None
+    return decoder.decode(stream, resilient=resilient).to_shipped()
 
 
 def _forward_fill(mask: np.ndarray, values: np.ndarray) -> np.ndarray:

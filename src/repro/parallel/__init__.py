@@ -10,6 +10,12 @@ over one, merging results in cell order regardless of completion order.
 
 from repro.parallel.matrix import CellResult, MatrixCell, grid, run_cell, run_matrix
 from repro.parallel.pool import RunPool
+from repro.parallel.transport import (
+    ShippedArrays,
+    configure_transport,
+    resolve_shipped,
+    transport_mode,
+)
 
 __all__ = [
     "RunPool",
@@ -18,4 +24,8 @@ __all__ = [
     "grid",
     "run_cell",
     "run_matrix",
+    "ShippedArrays",
+    "configure_transport",
+    "resolve_shipped",
+    "transport_mode",
 ]

@@ -111,11 +111,22 @@ class RunPool:
         The guarantee consumers rely on: the result list is a pure
         function of (fn, items), independent of worker count and
         completion order.
+
+        Results may carry :class:`~repro.parallel.transport.ShippedArrays`
+        containers (workers hand numpy columns back through shared memory
+        instead of the result pipe); ``map`` materializes them before
+        returning so every shared-memory segment is reclaimed here, and
+        in-process runs pass the original arrays through untouched.
         """
+        from repro.parallel.transport import resolve_shipped
+
         items = list(items)
         if self._executor is None:
-            return [fn(item) for item in items]
-        return list(self._executor.map(fn, items, chunksize=self.chunksize))
+            return [resolve_shipped(fn(item)) for item in items]
+        return [
+            resolve_shipped(result)
+            for result in self._executor.map(fn, items, chunksize=self.chunksize)
+        ]
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -1,0 +1,212 @@
+"""Zero-copy pool handoff for decoded SoA columns.
+
+Pool workers produce large numpy columns (decoded traces are four int64
+arrays per stream).  Round-tripping them through the default
+``ProcessPoolExecutor`` result pipe serializes every element twice (pickle
+in the worker, unpickle in the parent).  :class:`ShippedArrays` instead
+moves the columns through one POSIX shared-memory segment per result:
+
+* in the **worker**, pickling the container (which happens exactly once,
+  when the result crosses the process boundary) copies all arrays into a
+  freshly created ``multiprocessing.shared_memory`` segment and replaces
+  them with ``(segment name, per-array dtype/shape/offset)`` metadata —
+  the pickle payload is a few hundred bytes regardless of column size;
+* in the **parent**, :meth:`ShippedArrays.ensure_local` attaches the
+  segment, copies the columns out, then closes and *unlinks* it — the
+  segment lives exactly from worker-pickle to parent-unpack;
+* the worker unregisters the segment from its ``resource_tracker`` after
+  handoff so worker shutdown does not destroy a segment the parent still
+  owns (the parent's unlink is the single point of destruction).
+
+When shared memory is unavailable (platform without ``/dev/shm``,
+creation failure) — or when forced via :func:`configure_transport` — the
+container transparently falls back to pickling the raw array bytes;
+consumers cannot observe the difference except through
+:attr:`ShippedArrays.via`.
+
+In-process pools never pickle, so the container just hands back the
+original arrays: the fallback chain is shm -> pickle -> no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+#: transport override: "auto" picks shm when available, "pickle" forces
+#: the serialization fallback (tests / debugging), "shm" insists on shm
+_MODE = "auto"
+_VALID_MODES = ("auto", "shm", "pickle")
+
+
+def configure_transport(mode: str) -> str:
+    """Set the column-transport mode; returns the previous mode."""
+    global _MODE
+    if mode not in _VALID_MODES:
+        raise ValueError(f"transport mode must be one of {_VALID_MODES}")
+    previous = _MODE
+    _MODE = mode
+    return previous
+
+
+def transport_mode() -> str:
+    """The effective transport mode ("shm" or "pickle")."""
+    if _MODE == "pickle" or shared_memory is None:
+        return "pickle"
+    return "shm"
+
+
+def _unregister_segment(name: str) -> None:
+    """Detach a segment from this process's resource tracker."""
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker variants across versions
+        pass
+
+
+class ShippedArrays:
+    """Named numpy arrays plus scalar metadata, pool-transport aware.
+
+    Build one in a worker with the result columns, return it from the
+    mapped function, and call :meth:`ensure_local` / :meth:`unpack` in the
+    parent.  ``meta`` is an arbitrary small picklable dict riding along
+    (counters, lists of tuples — never bulk data).
+    """
+
+    def __init__(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping[str, object]] = None,
+    ):
+        self._arrays: Optional[Dict[str, np.ndarray]] = {
+            key: np.asarray(value) for key, value in arrays.items()
+        }
+        self.meta: Dict[str, object] = dict(meta or {})
+        #: how this instance crossed the process boundary:
+        #: "inline" (never pickled), "shm", or "pickle"
+        self.via = "inline"
+        self._pending: Optional[dict] = None
+
+    # -- worker side (pickling) -------------------------------------------
+
+    def __getstate__(self) -> dict:
+        arrays = self._arrays
+        if arrays is None:  # re-pickling an un-unpacked container
+            return {"meta": self.meta, "pending": self._pending}
+        specs = []
+        total = 0
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            specs.append((key, array.dtype.str, array.shape, total, array.nbytes))
+            total += array.nbytes
+        if transport_mode() == "shm" and total > 0:
+            try:
+                segment = shared_memory.SharedMemory(create=True, size=total)
+            except OSError:
+                segment = None
+            if segment is not None:
+                for (key, _, _, offset, nbytes), array in zip(
+                    specs, arrays.values()
+                ):
+                    segment.buf[offset : offset + nbytes] = np.ascontiguousarray(
+                        array
+                    ).view(np.uint8).reshape(-1).data
+                name = segment.name
+                segment.close()
+                # the parent now owns destruction; keep this process's
+                # resource tracker from unlinking the segment at exit
+                _unregister_segment(name)
+                return {
+                    "meta": self.meta,
+                    "pending": {"kind": "shm", "name": name, "specs": specs},
+                }
+        payload = {
+            key: (array.dtype.str, array.shape, np.ascontiguousarray(array).tobytes())
+            for key, array in arrays.items()
+        }
+        return {"meta": self.meta, "pending": {"kind": "pickle", "payload": payload}}
+
+    def __setstate__(self, state: dict) -> None:
+        self.meta = state["meta"]
+        self._arrays = None
+        self._pending = state["pending"]
+        self.via = self._pending["kind"] if self._pending else "inline"
+
+    # -- parent side (materialization) ------------------------------------
+
+    def ensure_local(self) -> "ShippedArrays":
+        """Materialize the arrays in this process (idempotent).
+
+        For shm transport this attaches, copies, closes, and unlinks the
+        segment — call it promptly so segments never outlive the result
+        handoff.  Returns ``self`` for chaining.
+        """
+        if self._arrays is not None:
+            return self
+        pending = self._pending
+        if pending is None:
+            self._arrays = {}
+            return self
+        if pending["kind"] == "shm":
+            segment = shared_memory.SharedMemory(name=pending["name"])
+            try:
+                arrays = {}
+                for key, dtype, shape, offset, nbytes in pending["specs"]:
+                    # bytes() copies out without leaving an exported
+                    # pointer into the segment, so close() below succeeds
+                    raw = bytes(segment.buf[offset : offset + nbytes])
+                    arrays[key] = (
+                        np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+                    )
+                self._arrays = arrays
+            finally:
+                segment.close()
+                segment.unlink()
+        else:
+            self._arrays = {
+                key: np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+                for key, (dtype, shape, raw) in pending["payload"].items()
+            }
+        self._pending = None
+        return self
+
+    def unpack(self) -> Dict[str, np.ndarray]:
+        """The named arrays, materialized locally."""
+        self.ensure_local()
+        assert self._arrays is not None
+        return self._arrays
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.unpack()[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "local" if self._arrays is not None else "pending"
+        return f"ShippedArrays({state}, via={self.via}, meta={sorted(self.meta)})"
+
+
+def resolve_shipped(result):
+    """Materialize every :class:`ShippedArrays` inside a mapped result.
+
+    Walks tuples, lists, and dict values (the shapes pool results take)
+    and calls :meth:`ShippedArrays.ensure_local` on each container found,
+    so shared-memory segments are reclaimed as soon as ``RunPool.map``
+    returns, even if a caller drops part of the result.
+    """
+    if isinstance(result, ShippedArrays):
+        result.ensure_local()
+    elif isinstance(result, (tuple, list)):
+        for item in result:
+            resolve_shipped(item)
+    elif isinstance(result, dict):
+        for item in result.values():
+            resolve_shipped(item)
+    return result

@@ -143,6 +143,56 @@ class TestAugmentation:
         with pytest.raises(ValueError):
             augment_traces([]).coverage_of_cycle(0)
 
+    def test_empty_coverage_is_zero(self):
+        assert augment_traces([]).coverage_of_cycle(1000) == 0.0
+
+    def test_coverage_matches_bool_array_reference(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            cycle = int(rng.integers(1, 60))
+            n = int(rng.integers(0, 6))
+            starts = rng.integers(0, 120, size=n)
+            spans = rng.integers(1, 90, size=n)
+            merged = merge_intervals(
+                [(int(s), int(s + w)) for s, w in zip(starts, spans)]
+            )
+            covered = np.zeros(cycle, dtype=bool)
+            saturated = False
+            for a, b in merged:
+                if b - a >= cycle:
+                    saturated = True
+                    break
+                lo, hi = a % cycle, b % cycle
+                if lo < hi:
+                    covered[lo:hi] = True
+                else:
+                    covered[lo:] = True
+                    covered[:hi] = True
+            expected = 1.0 if saturated else float(covered.mean())
+            result = augment_traces([merged])
+            assert result.coverage_of_cycle(cycle) == pytest.approx(expected)
+
+    def test_per_worker_unique_contribution(self):
+        # worker 0 alone covers [0,50); [50,100) is shared; worker 2
+        # alone covers [200,250)
+        result = augment_traces([[(0, 100)], [(50, 150)], [(200, 250)]])
+        assert result.per_worker_unique == [50, 50, 50]
+        assert sum(result.per_worker_unique) == (
+            result.union_events
+            - (sum(result.per_worker_events) - result.union_events)
+        )
+
+    def test_per_worker_unique_fully_redundant(self):
+        result = augment_traces([[(0, 100)], [(0, 100)]])
+        assert result.per_worker_unique == [0, 0]
+        assert result.redundant_events == 100
+
+    def test_per_worker_unique_empty_worker(self):
+        result = augment_traces([[(0, 10)], []])
+        assert result.per_worker_unique == [10, 0]
+
 
 class TestOrchestration:
     def test_plan_shape(self):

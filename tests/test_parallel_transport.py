@@ -1,0 +1,141 @@
+"""Tests for the zero-copy (shared-memory) pool result transport."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel.transport import (
+    ShippedArrays,
+    configure_transport,
+    resolve_shipped,
+    transport_mode,
+)
+
+
+@pytest.fixture
+def forced_pickle():
+    previous = configure_transport("pickle")
+    yield
+    configure_transport(previous)
+
+
+def sample_arrays():
+    return {
+        "timestamps": np.arange(100, dtype=np.int64),
+        "weights": np.linspace(0.0, 1.0, 7),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+
+
+def assert_roundtrip(shipped: ShippedArrays) -> None:
+    arrays = shipped.unpack()
+    expected = sample_arrays()
+    assert set(arrays) == set(expected)
+    for key in expected:
+        assert arrays[key].dtype == expected[key].dtype
+        assert np.array_equal(arrays[key], expected[key])
+
+
+class TestInline:
+    def test_unpickled_container_is_passthrough(self):
+        shipped = ShippedArrays(sample_arrays(), meta={"n": 3})
+        assert shipped.via == "inline"
+        assert shipped.meta == {"n": 3}
+        assert_roundtrip(shipped)
+
+    def test_getitem(self):
+        shipped = ShippedArrays(sample_arrays())
+        assert shipped["timestamps"][5] == 5
+
+
+class TestShm:
+    def test_pickle_roundtrip_uses_shm(self):
+        if transport_mode() != "shm":
+            pytest.skip("no shared memory on this platform")
+        shipped = pickle.loads(pickle.dumps(ShippedArrays(sample_arrays())))
+        assert shipped.via == "shm"
+        assert_roundtrip(shipped)
+
+    def test_ensure_local_is_idempotent(self):
+        if transport_mode() != "shm":
+            pytest.skip("no shared memory on this platform")
+        shipped = pickle.loads(pickle.dumps(ShippedArrays(sample_arrays())))
+        shipped.ensure_local()
+        shipped.ensure_local()
+        assert_roundtrip(shipped)
+
+    def test_all_empty_arrays_skip_shm(self):
+        shipped = pickle.loads(
+            pickle.dumps(ShippedArrays({"empty": np.empty(0, dtype=np.int64)}))
+        )
+        # zero total bytes: nothing to put in a segment
+        assert shipped.via == "pickle"
+        assert shipped.unpack()["empty"].size == 0
+
+
+class TestPickleFallback:
+    def test_forced_pickle_roundtrip(self, forced_pickle):
+        assert transport_mode() == "pickle"
+        shipped = pickle.loads(pickle.dumps(ShippedArrays(sample_arrays())))
+        assert shipped.via == "pickle"
+        assert_roundtrip(shipped)
+
+    def test_shm_creation_failure_falls_back(self, monkeypatch):
+        from repro.parallel import transport
+
+        if transport_mode() != "shm":
+            pytest.skip("no shared memory on this platform")
+
+        class FailingShm:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no shm for you")
+
+        monkeypatch.setattr(
+            transport.shared_memory, "SharedMemory", FailingShm
+        )
+        shipped = pickle.loads(pickle.dumps(ShippedArrays(sample_arrays())))
+        assert shipped.via == "pickle"
+        assert_roundtrip(shipped)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            configure_transport("carrier-pigeon")
+
+
+class TestResolveShipped:
+    def test_walks_nested_results(self, forced_pickle):
+        shipped = pickle.loads(pickle.dumps(ShippedArrays(sample_arrays())))
+        result = {"a": [shipped, 42], "b": (shipped,)}
+        resolve_shipped(result)
+        assert_roundtrip(shipped)
+
+    def test_passthrough_for_plain_values(self):
+        assert resolve_shipped(7) == 7
+        assert resolve_shipped([1, "x"]) == [1, "x"]
+
+
+class TestPoolIntegration:
+    def test_fork_pool_roundtrip(self):
+        from repro.parallel import RunPool
+
+        with RunPool(max_workers=2) as pool:
+            parallel = pool.parallel
+            results = pool.map(_make_shipped, [10, 20, 30])
+        for size, shipped in zip([10, 20, 30], results):
+            arrays = shipped.unpack()
+            assert np.array_equal(arrays["values"], np.arange(size))
+            if parallel:
+                assert shipped.via == transport_mode()
+
+    def test_inprocess_pool_is_inline(self):
+        from repro.parallel import RunPool
+
+        with RunPool(max_workers=1) as pool:
+            results = pool.map(_make_shipped, [4])
+        assert results[0].via == "inline"
+        assert np.array_equal(results[0]["values"], np.arange(4))
+
+
+def _make_shipped(size: int) -> ShippedArrays:
+    return ShippedArrays({"values": np.arange(size)}, meta={"size": size})
