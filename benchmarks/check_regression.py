@@ -31,15 +31,21 @@ THROUGHPUT_SUFFIXES = ("_mb_s", "_per_s")
 DEFAULT_THRESHOLD = 0.25
 
 
+def _usage_error(message: str) -> "SystemExit":
+    """Schema/usage failure: print and exit 2 (distinct from regression=1)."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
 def load_report(path: Path) -> dict:
     try:
         report = json.loads(path.read_text())
     except FileNotFoundError:
-        raise SystemExit(f"error: report {path} not found (exit 2)") from None
+        raise _usage_error(f"report {path} not found") from None
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"error: {path} is not valid JSON: {exc} (exit 2)") from None
+        raise _usage_error(f"{path} is not valid JSON: {exc}") from None
     if "metrics" not in report:
-        raise SystemExit(f"error: {path} has no 'metrics' block (exit 2)")
+        raise _usage_error(f"{path} has no 'metrics' block")
     return report
 
 
@@ -55,8 +61,12 @@ def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
     """Compare one fresh report against its baseline; returns failures."""
     fresh = load_report(fresh_path)
     if not baseline_path.exists():
-        print(f"  [warn] no baseline {baseline_path}; skipping gate")
-        return []
+        # a silently skipped gate reads as "passed" — refuse instead, so a
+        # renamed/forgotten baseline surfaces in CI as a schema error
+        raise _usage_error(
+            f"baseline {baseline_path} not found — commit a baseline for "
+            f"{fresh_path.name} or drop it from the gated reports"
+        )
     baseline = load_report(baseline_path)
     failures = []
     fresh_metrics = gated_metrics(fresh["metrics"])

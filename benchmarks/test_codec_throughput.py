@@ -15,18 +15,12 @@ import time
 from pathlib import Path
 
 from conftest import emit
-
-from repro.util.bench import write_bench
-
-from repro.hwtrace.decoder import (
-    SoftwareDecoder,
-    encode_trace,
-    encode_trace_objects,
-)
+from repro.hwtrace.decoder import SoftwareDecoder, encode_trace, encode_trace_objects
 from repro.hwtrace.tracer import TraceSegment
 from repro.program.binary import FunctionCategory
 from repro.program.generator import BinaryShape, generate_binary
 from repro.program.path import PathModel
+from repro.util.bench import write_bench
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TARGET_STREAM_BYTES = 10 * 1000 * 1000

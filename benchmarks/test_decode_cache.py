@@ -16,8 +16,8 @@ import time
 from pathlib import Path
 
 import numpy as np
-from conftest import emit
 
+from conftest import emit
 from repro.hwtrace.cache import DecodeCache
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
 from repro.hwtrace.tracer import TraceSegment

@@ -15,10 +15,7 @@ axis abstracts as the method's information class).
 
 
 from conftest import emit, once
-from repro.analysis.accuracy import (
-    function_histogram_from_segments,
-    weight_matching_accuracy,
-)
+from repro.analysis.accuracy import function_histogram_from_segments, weight_matching_accuracy
 from repro.analysis.tables import format_table
 from repro.experiments.scenarios import run_traced_execution
 

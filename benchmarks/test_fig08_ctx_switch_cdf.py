@@ -8,7 +8,6 @@ operations than an order-of-seconds control period would.
 
 from collections import defaultdict
 
-
 from conftest import emit, once
 from repro.analysis.tables import format_table
 from repro.kernel.system import KernelSystem, SystemConfig
@@ -37,7 +36,7 @@ def run_figure():
     last_all = None
     last_core = {}
     last_process = {}
-    for timestamp, cpu, pid, tid in log:
+    for timestamp, cpu, pid, _tid in log:
         if last_all is not None:
             all_periods.append(timestamp - last_all)
         last_all = timestamp

@@ -29,7 +29,7 @@ def run_figure():
     allocated = 0.0
     used = 0.0
     pods = []
-    for step in range(N_STEPS):
+    for _step in range(N_STEPS):
         # schedulers pack pods by requests until the node is "full"
         while True:
             profile = profiles[int(rng.integers(0, len(profiles)))]

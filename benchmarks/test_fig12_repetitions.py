@@ -11,14 +11,11 @@ coverage across 1..5 repetitions.
 
 
 from conftest import emit, once
-from repro.analysis.accuracy import (
-    function_histogram_from_segments,
-    pairwise_trace_similarity,
-)
+from repro.analysis.accuracy import function_histogram_from_segments, pairwise_trace_similarity
 from repro.analysis.reconstruct import coverage_by_thread, thread_labels
+from repro.analysis.tables import format_table
 from repro.core.rco import augment_traces
 from repro.experiments.scenarios import run_traced_execution
-from repro.analysis.tables import format_table
 
 MAX_REPS = 5
 

@@ -13,10 +13,7 @@ Search1/Search2/Cache/Pred/Agent.
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
-from repro.experiments.accuracy import (
-    direct_accuracy_vs_nht,
-    weight_accuracy_vs_nht,
-)
+from repro.experiments.accuracy import direct_accuracy_vs_nht, weight_accuracy_vs_nht
 
 BENCHMARK_APPS = ["pb", "om", "de", "xz", "mc"]
 REALWORLD_APPS = ["Search1", "Search2", "Cache", "Pred", "Agent"]

@@ -16,10 +16,7 @@ mapped cores.  This is the per-core-buffer ablation DESIGN.md calls out.
 
 
 from conftest import emit, once
-from repro.analysis.accuracy import (
-    function_histogram_from_segments,
-    weight_matching_accuracy,
-)
+from repro.analysis.accuracy import function_histogram_from_segments, weight_matching_accuracy
 from repro.analysis.tables import format_table
 from repro.core.exist import ExistScheme
 from repro.experiments.scenarios import make_scheme

@@ -14,10 +14,7 @@ predictions can be *measured*:
 
 
 from conftest import emit, once
-from repro.analysis.accuracy import (
-    function_histogram_from_segments,
-    weight_matching_accuracy,
-)
+from repro.analysis.accuracy import function_histogram_from_segments, weight_matching_accuracy
 from repro.analysis.tables import format_table
 from repro.core.config import ExistConfig
 from repro.core.exist import ExistScheme

@@ -10,7 +10,6 @@ on any one calibrated number.
 
 import dataclasses
 
-
 from conftest import emit, once
 from repro.analysis.tables import format_table
 from repro.core.exist import ExistScheme

@@ -23,7 +23,6 @@ import time
 from pathlib import Path
 
 from conftest import emit
-
 from repro.kernel.events import Simulator
 from repro.parallel.matrix import grid, run_matrix, warmup_for
 from repro.util.bench import write_bench

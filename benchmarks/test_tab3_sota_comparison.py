@@ -10,10 +10,7 @@ since those systems are not publicly reproducible).
 
 from conftest import emit, once
 from repro.analysis.tables import format_table
-from repro.experiments.scenarios import (
-    run_compute_slowdown,
-    run_online_throughput,
-)
+from repro.experiments.scenarios import run_compute_slowdown, run_online_throughput
 
 #: published average/worst overheads (paper Table 3), literature constants
 SOTA = {

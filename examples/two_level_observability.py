@@ -15,12 +15,7 @@ Run:  python examples/two_level_observability.py
 from repro import EbpfScheme, ExistScheme, KernelSystem, SystemConfig, get_workload
 from repro.analysis.casestudy import find_blocking_anomalies
 from repro.program.workloads import variant
-from repro.services import (
-    PoissonArrivals,
-    QueueingSimulator,
-    ServiceGraph,
-    ZipkinCollector,
-)
+from repro.services import PoissonArrivals, QueueingSimulator, ServiceGraph, ZipkinCollector
 from repro.util.units import MSEC, USEC, fmt_time
 
 

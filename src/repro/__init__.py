@@ -27,10 +27,10 @@ Package map:
 from repro.core import ExistConfig, ExistScheme, TraceReason, TracingRequest
 from repro.core.facility import ExistFacility
 from repro.experiments import (
+    make_scheme,
     run_compute_slowdown,
     run_online_throughput,
     run_traced_execution,
-    make_scheme,
 )
 from repro.kernel.system import KernelSystem, SystemConfig
 from repro.program.workloads import WORKLOADS, get_workload

@@ -9,35 +9,31 @@ reports (:mod:`repro.analysis.casestudy`).  :mod:`repro.analysis.tables`
 renders the paper-style text tables the benchmarks print.
 """
 
-from repro.analysis.reconstruct import (
-    reconstruct,
-    ReconstructionResult,
-    thread_labels,
-    coverage_by_thread,
-)
 from repro.analysis.accuracy import (
     direct_path_accuracy,
-    weight_matching_accuracy,
     function_histogram_from_segments,
     pairwise_trace_similarity,
+    weight_matching_accuracy,
 )
 from repro.analysis.casestudy import (
-    function_category_report,
-    memory_width_report,
-    find_blocking_anomalies,
+    BlockingAnomaly,
     CategoryReport,
     WidthReport,
-    BlockingAnomaly,
+    find_blocking_anomalies,
+    function_category_report,
+    memory_width_report,
 )
-from repro.analysis.tables import format_table, format_percent
 from repro.analysis.export import to_chrome_trace, to_folded_stacks
 from repro.analysis.metrics import IpcSample, detect_ipc_anomalies, ipc_timeline
-from repro.analysis.optimize import (
-    Optimization,
-    evaluate_optimization,
-    propose_optimizations,
+from repro.analysis.optimize import Optimization, evaluate_optimization, propose_optimizations
+from repro.analysis.reconstruct import (
+    ReconstructionResult,
+    coverage_by_thread,
+    reconstruct,
+    thread_labels,
 )
 from repro.analysis.report import build_session_report
+from repro.analysis.tables import format_percent, format_table
 
 __all__ = [
     "reconstruct",

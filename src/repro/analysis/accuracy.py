@@ -20,11 +20,7 @@ from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.rco import (
-    Interval,
-    interval_intersection,
-    interval_length,
-)
+from repro.core.rco import Interval, interval_intersection, interval_length
 from repro.hwtrace.tracer import TraceSegment
 from repro.util.stats import normalized_l1_distance
 

@@ -16,7 +16,10 @@ Commands:
   TraceTask CRD through the full control/data flow (optionally under an
   injected ``--faults`` plan, printing the degradation summary);
 * ``chaos-sweep`` — run the seeded chaos scenario across fault seeds and
-  aggregate the graceful-degradation accounting.
+  aggregate the graceful-degradation accounting;
+* ``staticcheck`` — run the ``existcheck`` determinism & simulation-purity
+  analyzer (EX001..EX006) over the source tree against the committed
+  baseline.
 """
 
 from __future__ import annotations
@@ -233,6 +236,12 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: argparse.Namespace) -> int:
+    from repro.staticcheck.main import run as run_staticcheck
+
+    return run_staticcheck(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -313,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
         help="repetition-aware decode cache shared across the sweep's runs",
     )
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="existcheck — determinism & simulation-purity analyzer",
+    )
+    from repro.staticcheck.main import add_arguments as _staticcheck_arguments
+
+    _staticcheck_arguments(staticcheck)
     return parser
 
 
@@ -322,6 +338,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "cluster": _cmd_cluster,
     "chaos-sweep": _cmd_chaos_sweep,
+    "staticcheck": _cmd_staticcheck,
 }
 
 

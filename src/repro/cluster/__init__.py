@@ -11,13 +11,13 @@ KernelSystem` plus an EXIST facility and host pods
 (:mod:`repro.cluster.node`, :mod:`repro.cluster.pod`).
 """
 
-from repro.cluster.pod import Pod, PodPhase
-from repro.cluster.node import ClusterNode
-from repro.cluster.crd import TraceTask, TraceTaskSpec, TraceTaskStatus, TaskPhase
-from repro.cluster.storage import ObjectStore, StructuredStore
-from repro.cluster.master import ClusterMaster, Deployment, RetryPolicy
-from repro.cluster.detector import AnomalyTrigger, MetricMonitor, AnomalyEvent
 from repro.cluster.campaign import ProfilingCampaign
+from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec, TraceTaskStatus
+from repro.cluster.detector import AnomalyEvent, AnomalyTrigger, MetricMonitor
+from repro.cluster.master import ClusterMaster, Deployment, RetryPolicy
+from repro.cluster.node import ClusterNode
+from repro.cluster.pod import Pod, PodPhase
+from repro.cluster.storage import ObjectStore, StructuredStore
 
 __all__ = [
     "Pod",

@@ -15,20 +15,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
-from repro.cluster.node import (
-    STOP_NODE_CRASH,
-    STOP_POD_KILLED,
-    ClusterNode,
-)
+from repro.cluster.node import STOP_NODE_CRASH, STOP_POD_KILLED, ClusterNode
 from repro.cluster.pod import Pod
 from repro.cluster.storage import BinaryRepository, ObjectStore, StructuredStore
 from repro.core.config import ExistConfig, TracingRequest
 from repro.core.otc import TracingSession
-from repro.core.rco import (
-    CoverageMetric,
-    Repetition,
-    RepetitionAwareCoverageOptimizer,
-)
+from repro.core.rco import CoverageMetric, Repetition, RepetitionAwareCoverageOptimizer
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
@@ -362,7 +354,7 @@ class ClusterMaster:
             for node, _, _, _ in participants:
                 node.run_for(window)
             # stragglers: grant extra time, then force-stop survivors
-            for node, pod, session, label in participants:
+            for node, _pod, session, _label in participants:
                 if not session.stopped and node.alive:
                     node.run_for(policy.straggler_timeout_ms * MSEC)
                 if not session.stopped and node.alive:
@@ -440,7 +432,7 @@ class ClusterMaster:
         decoder = self._decoder_for(app, binary, cr3s)
 
         uploads: List[Tuple[Pod, str, int, str, bool, int]] = []
-        for node, pod, session, label, salvaged in completed:
+        for _node, pod, session, label, salvaged in completed:
             raw = encode_trace(session.segments)
             dropped = 0
             if injector is not None:
@@ -488,7 +480,7 @@ class ClusterMaster:
                 for payload in payloads
             ]
 
-        for (pod, key, raw_len, label, salvaged, dropped), (
+        for (pod, _key, raw_len, label, salvaged, dropped), (
             n_records,
             n_functions,
             resyncs,

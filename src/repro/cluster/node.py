@@ -17,7 +17,7 @@ salvageable.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.cluster.pod import Pod, PodPhase
 from repro.core.config import ExistConfig, TracingRequest

@@ -20,22 +20,17 @@ Three cooperative components pursue the time/space/coverage optimum
 experiment.
 """
 
-from repro.core.config import ExistConfig, TracingRequest, TraceReason
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
+from repro.core.exist import ExistScheme
+from repro.core.facility import ExistFacility
 from repro.core.otc import OperationAwareTracingController, TracingSession
-from repro.core.uma import (
-    UsageAwareMemoryAllocator,
-    CoresetSampler,
-    BufferManager,
-    CoresetPlan,
-)
 from repro.core.rco import (
     RepetitionAwareCoverageOptimizer,
-    TemporalDecider,
     SpatialSampler,
+    TemporalDecider,
     augment_traces,
 )
-from repro.core.facility import ExistFacility
-from repro.core.exist import ExistScheme
+from repro.core.uma import BufferManager, CoresetPlan, CoresetSampler, UsageAwareMemoryAllocator
 
 __all__ = [
     "ExistConfig",

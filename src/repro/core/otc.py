@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.core.uma import CoresetPlan
 from repro.hwtrace.cost import CostLedger
 from repro.hwtrace.msr import CtlBits
 from repro.hwtrace.topa import ToPAOutput
@@ -35,7 +36,6 @@ from repro.kernel.system import KernelSystem
 from repro.kernel.task import Process
 from repro.kernel.timer import HighResolutionTimer
 from repro.kernel.tracepoints import SCHED_SWITCH, SchedSwitchRecord
-from repro.core.uma import CoresetPlan
 
 _session_ids = itertools.count(1)
 

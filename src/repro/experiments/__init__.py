@@ -7,6 +7,7 @@ them in the library (rather than inside the benchmark files) makes every
 experiment reproducible from user code as well.
 """
 
+from repro.experiments.accuracy import direct_accuracy_vs_nht, weight_accuracy_vs_nht
 from repro.experiments.scenarios import (
     SCHEME_FACTORIES,
     make_scheme,
@@ -15,10 +16,6 @@ from repro.experiments.scenarios import (
     run_traced_execution,
     slowdown_table,
     throughput_table,
-)
-from repro.experiments.accuracy import (
-    direct_accuracy_vs_nht,
-    weight_accuracy_vs_nht,
 )
 
 __all__ = [

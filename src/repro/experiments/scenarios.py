@@ -44,7 +44,9 @@ def make_scheme(name: str, **kwargs) -> TracingScheme:
     try:
         factory = SCHEME_FACTORIES[name]
     except KeyError:
-        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}")
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {sorted(SCHEME_FACTORIES)}"
+        ) from None
     return factory(**kwargs)  # type: ignore[call-arg]
 
 

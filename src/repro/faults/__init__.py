@@ -20,8 +20,8 @@ Everything is deterministic for a given fault seed, including across
 ``jobs=1`` vs ``jobs=N`` decode fan-out.
 """
 
-from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.report import DegradationReport
 
 __all__ = [

@@ -26,7 +26,7 @@ replays identically, including across ``jobs=1`` vs ``jobs=N``.
 from __future__ import annotations
 
 from fnmatch import fnmatch
-from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.report import DegradationReport

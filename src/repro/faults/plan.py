@@ -117,7 +117,9 @@ class FaultSpec:
             kind = FaultKind(body.strip())
         except ValueError:
             known = sorted(k.value for k in FaultKind)
-            raise ValueError(f"unknown fault kind {body.strip()!r}; known: {known}")
+            raise ValueError(
+                f"unknown fault kind {body.strip()!r}; known: {known}"
+            ) from None
         return cls(
             kind=kind,
             magnitude=_DEFAULT_MAGNITUDE[kind] if magnitude is None else magnitude,

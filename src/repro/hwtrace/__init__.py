@@ -22,46 +22,33 @@ package models each piece:
   control flow from dumped packets plus the binary.
 """
 
-from repro.hwtrace.cost import CostModel, CostLedger
+from repro.hwtrace.cache import DecodeCache, binary_fingerprint, process_decode_cache
+from repro.hwtrace.codec import ScannedStream, scan_stream, scan_stream_resilient
+from repro.hwtrace.cost import CostLedger, CostModel
+from repro.hwtrace.decoder import DecodedRecord, DecodedTrace, SoftwareDecoder, encode_trace
 from repro.hwtrace.msr import (
+    RTIT_CR3_MATCH,
     RTIT_CTL,
-    RTIT_STATUS,
     RTIT_OUTPUT_BASE,
     RTIT_OUTPUT_MASK_PTRS,
-    RTIT_CR3_MATCH,
+    RTIT_STATUS,
     CtlBits,
     RtitMsrFile,
     TraceEnabledError,
 )
 from repro.hwtrace.packets import (
+    OvfPacket,
     Packet,
-    PsbPacket,
-    TscPacket,
     PipPacket,
+    PsbPacket,
     TipPacket,
     TntPacket,
-    OvfPacket,
+    TscPacket,
     encode_packets,
     parse_stream,
 )
-from repro.hwtrace.codec import (
-    ScannedStream,
-    scan_stream,
-    scan_stream_resilient,
-)
-from repro.hwtrace.cache import (
-    DecodeCache,
-    binary_fingerprint,
-    process_decode_cache,
-)
-from repro.hwtrace.topa import ToPAEntry, ToPAOutput, OutputMode
+from repro.hwtrace.topa import OutputMode, ToPAEntry, ToPAOutput
 from repro.hwtrace.tracer import CoreTracer, TraceSegment, VolumeModel
-from repro.hwtrace.decoder import (
-    SoftwareDecoder,
-    DecodedTrace,
-    DecodedRecord,
-    encode_trace,
-)
 
 __all__ = [
     "CostModel",

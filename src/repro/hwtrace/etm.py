@@ -26,8 +26,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hwtrace.cost import CostLedger
-from repro.hwtrace.tracer import TraceSegment, VolumeModel
 from repro.hwtrace.topa import ToPAOutput
+from repro.hwtrace.tracer import TraceSegment, VolumeModel
 from repro.program.path import PathModel
 
 # trace-unit register offsets (CoreSight ETMv4)

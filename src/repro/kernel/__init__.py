@@ -13,14 +13,14 @@ to (:mod:`repro.kernel.tracepoints`), high-resolution timers
 :mod:`repro.kernel.system`.
 """
 
-from repro.kernel.events import Simulator, Event
-from repro.kernel.cpu import CpuTopology, LogicalCore, InterferenceModel
-from repro.kernel.task import Process, Thread, ThreadState
-from repro.kernel.tracepoints import TracepointRegistry, SchedSwitchRecord
-from repro.kernel.timer import HighResolutionTimer
-from repro.kernel.syscalls import SyscallTable, SyscallSpec
+from repro.kernel.cpu import CpuTopology, InterferenceModel, LogicalCore
+from repro.kernel.events import Event, Simulator
 from repro.kernel.scheduler import Scheduler, SchedulerConfig
-from repro.kernel.system import KernelSystem, SystemConfig, RunSummary
+from repro.kernel.syscalls import SyscallSpec, SyscallTable
+from repro.kernel.system import KernelSystem, RunSummary, SystemConfig
+from repro.kernel.task import Process, Thread, ThreadState
+from repro.kernel.timer import HighResolutionTimer
+from repro.kernel.tracepoints import SchedSwitchRecord, TracepointRegistry
 
 __all__ = [
     "Simulator",

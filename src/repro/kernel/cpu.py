@@ -18,7 +18,7 @@ program work a thread completes per nanosecond of CPU time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.task import Thread

@@ -29,13 +29,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 from repro.kernel.cpu import CpuTopology, LogicalCore
 from repro.kernel.events import Simulator
 from repro.kernel.syscalls import SyscallTable
-from repro.kernel.task import (
-    SLICE_DONE,
-    SLICE_SYSCALL,
-    SliceResult,
-    Thread,
-    ThreadState,
-)
+from repro.kernel.task import SLICE_DONE, SLICE_SYSCALL, SliceResult, Thread, ThreadState
 from repro.kernel.tracepoints import (
     SCHED_SWITCH,
     SYS_ENTER,

@@ -114,7 +114,7 @@ class ShippedArrays:
             except OSError:
                 segment = None
             if segment is not None:
-                for (key, _, _, offset, nbytes), array in zip(
+                for (_key, _, _, offset, nbytes), array in zip(
                     specs, arrays.values()
                 ):
                     segment.buf[offset : offset + nbytes] = np.ascontiguousarray(

@@ -12,22 +12,16 @@ budgets into retired work, branches, syscalls, and symbolic path chunks
 matching the paper's Table 1 (:mod:`repro.program.workloads`).
 """
 
-from repro.program.binary import (
-    BasicBlock,
-    Binary,
-    Function,
-    FunctionCategory,
-    MemoryProfile,
-)
+from repro.program.binary import BasicBlock, Binary, Function, FunctionCategory, MemoryProfile
+from repro.program.execution import ProgramExecution, ServerLoopExecution
 from repro.program.generator import BinaryShape, generate_binary
 from repro.program.path import PathModel
-from repro.program.execution import ProgramExecution, ServerLoopExecution
 from repro.program.workloads import (
-    WorkloadProfile,
-    WorkloadKind,
     WORKLOADS,
-    get_workload,
+    WorkloadKind,
+    WorkloadProfile,
     compute_workloads,
+    get_workload,
     online_workloads,
     realworld_workloads,
 )

@@ -25,12 +25,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.kernel.task import (
-    SLICE_DONE,
-    SLICE_SYSCALL,
-    SLICE_TIMESLICE,
-    SliceResult,
-)
+from repro.kernel.task import SLICE_DONE, SLICE_SYSCALL, SLICE_TIMESLICE, SliceResult
 from repro.program.path import PathModel
 from repro.util.rng import derive_seed
 
@@ -259,7 +254,7 @@ class ServerLoopExecution(_ScriptedExecution):
                     if self._rng.random() < rate
                 ]
                 parts = len(extras) + 1
-                for i, name in enumerate(extras):
+                for name in extras:
                     yield ("work", burst / parts)
                     yield ("syscall", name)
                 yield ("work", burst / parts)

@@ -11,11 +11,11 @@ span records for the inter-service side of Figure 1
 (:mod:`repro.services.rpc`).
 """
 
-from repro.services.graph import ServiceGraph, ServiceSpec, CallEdge
-from repro.services.loadgen import PoissonArrivals, ClosedLoopClients
-from repro.services.latency import QueueingSimulator, LatencyReport
-from repro.services.rpc import Span, RequestTrace
-from repro.services.collector import ZipkinCollector, ServiceStats
+from repro.services.collector import ServiceStats, ZipkinCollector
+from repro.services.graph import CallEdge, ServiceGraph, ServiceSpec
+from repro.services.latency import LatencyReport, QueueingSimulator
+from repro.services.loadgen import ClosedLoopClients, PoissonArrivals
+from repro.services.rpc import RequestTrace, Span
 
 __all__ = [
     "ServiceGraph",

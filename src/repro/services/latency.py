@@ -17,9 +17,9 @@ the paper's testbed composes node overhead and cluster queueing.
 from __future__ import annotations
 
 import heapq
-import zlib
 import itertools
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 

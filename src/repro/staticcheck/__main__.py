@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.staticcheck``."""
+
+import sys
+
+from repro.staticcheck.main import main
+
+sys.exit(main())

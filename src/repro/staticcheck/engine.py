@@ -1,0 +1,229 @@
+"""Multi-pass analysis driver.
+
+Pass 1 (*facts*) parses :mod:`repro.util.identity` — without importing
+it — and extracts the two registries the EX005 rule checks against: the
+``module:attr`` pairs rewound by :func:`reset_identity_counters` and the
+deliberately process-lifetime entries in ``PROCESS_LIFETIME_STATE``.
+Facts are plain string sets, picklable by construction, because pass 2
+fans out.
+
+Pass 2 (*rules*) parses every target file and runs the full
+:data:`repro.staticcheck.rules.RULES` registry over it.  Files are
+independent once facts are in hand, so the pass maps over a
+:class:`repro.parallel.RunPool` (``jobs=1`` runs in-process through the
+identical code path); results are sorted by (path, line, col, rule), so
+output is byte-identical regardless of worker count — the analyzer
+holds itself to the invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.rules import RULES, ModuleContext, Violation
+
+#: directories never worth analyzing
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", "build", "dist"}
+_SKIP_SUFFIXES = (".egg-info",)
+
+IDENTITY_MODULE_PATH = Path("src") / "repro" / "util" / "identity.py"
+
+
+# ---------------------------------------------------------------------------
+# pass 1 — repo-wide facts
+# ---------------------------------------------------------------------------
+
+
+def _identity_import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local alias -> dotted module for identity.py's imports."""
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def collect_facts(root: Path) -> Dict[str, Set[str]]:
+    """Parse the resettable-identity registry into rule-checkable facts.
+
+    Returns ``{"identity_registered": {"module:attr", ...},
+    "process_lifetime": {"module:attr", ...}}``.  Missing identity
+    module (analyzing a foreign tree) yields empty sets — EX005 then
+    flags every candidate, which is the honest default.
+    """
+    facts: Dict[str, Set[str]] = {
+        "identity_registered": set(),
+        "process_lifetime": set(),
+    }
+    identity_path = root / IDENTITY_MODULE_PATH
+    if not identity_path.is_file():
+        return facts
+    tree = ast.parse(identity_path.read_text(), filename=str(identity_path))
+    imports = _identity_import_map(tree)
+
+    for node in ast.walk(tree):
+        # assignments like ``task._pid_counter = itertools.count(1000)``
+        # inside reset_identity_counters register (module, attr)
+        if isinstance(node, ast.FunctionDef) and node.name == "reset_identity_counters":
+            local_imports = dict(imports)
+            local_imports.update(_identity_import_map(ast.Module(body=node.body, type_ignores=[])))
+            for statement in ast.walk(node):
+                if not isinstance(statement, ast.Assign):
+                    continue
+                for target in statement.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in local_imports
+                    ):
+                        module = local_imports[target.value.id]
+                        facts["identity_registered"].add(f"{module}:{target.attr}")
+        # ``PROCESS_LIFETIME_STATE = frozenset({("module", "attr"), ...})``
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "PROCESS_LIFETIME_STATE" not in names:
+                continue
+            for entry in ast.walk(node.value):
+                if isinstance(entry, ast.Tuple) and len(entry.elts) == 2:
+                    parts = [
+                        e.value for e in entry.elts
+                        if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    ]
+                    if len(parts) == 2:
+                        facts["process_lifetime"].add(f"{parts[0]}:{parts[1]}")
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# pass 2 — per-file rule execution
+# ---------------------------------------------------------------------------
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module name for a file, matching the import system's view."""
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = path
+    parts = list(relative.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else relative.stem
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    module: str,
+    facts: Optional[Dict[str, Set[str]]] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Run the registry over one source string (the self-test surface).
+
+    A syntax error is itself reported as an ``EX000`` finding rather
+    than aborting the whole run.
+    """
+    try:
+        ctx = ModuleContext.build(source, path=path, module=module, facts=facts)
+    except SyntaxError as exc:
+        return [Violation(
+            rule="EX000",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+            scope="<module>",
+            token="syntax-error",
+        )]
+    selected = set(rules) if rules is not None else set(RULES)
+    out: List[Violation] = []
+    for rule_id, (_summary, checker) in RULES.items():
+        if rule_id in selected:
+            out.extend(checker(ctx))
+    return out
+
+
+def _analyze_payload(payload: Tuple[str, str, str, Dict[str, Set[str]]]) -> List[Dict[str, object]]:
+    """Pool worker: analyze one file, returning picklable violation dicts."""
+    path_str, rel_path, module, facts = payload
+    source = Path(path_str).read_text()
+    return [v.to_dict() for v in analyze_source(source, rel_path, module, facts)]
+
+
+def discover_files(paths: Sequence[Path], root: Path) -> List[Path]:
+    """All ``.py`` files under ``paths``, deterministically ordered."""
+    found: Set[Path] = set()
+    for path in paths:
+        base = path if path.is_absolute() else root / path
+        if base.is_file() and base.suffix == ".py":
+            found.add(base)
+            continue
+        for candidate in base.rglob("*.py"):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS:
+                continue
+            if any(part.endswith(_SKIP_SUFFIXES) for part in candidate.parts):
+                continue
+            found.add(candidate)
+    return sorted(found)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one full analysis run (pre-baseline)."""
+
+    root: str
+    files_analyzed: int
+    violations: List[Violation] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        """Violation counts per rule id, sorted by rule."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def run_check(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    jobs: int = 1,
+) -> CheckResult:
+    """Analyze ``paths`` (files or directories) with every registered rule.
+
+    ``jobs > 1`` fans files out over a fork :class:`RunPool`; the merged
+    result is independent of worker count.
+    """
+    root = (root or Path.cwd()).resolve()
+    files = discover_files([Path(p) for p in paths], root)
+    facts = collect_facts(root)
+    payloads = []
+    for file in files:
+        try:
+            rel = file.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        payloads.append((str(file), rel, module_name_for(file, root), facts))
+
+    if jobs > 1 and len(payloads) > 1:
+        from repro.parallel import RunPool
+
+        with RunPool(max_workers=jobs) as pool:
+            raw = pool.map(_analyze_payload, payloads)
+    else:
+        raw = [_analyze_payload(payload) for payload in payloads]
+
+    violations = [Violation.from_dict(d) for batch in raw for d in batch]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return CheckResult(
+        root=str(root), files_analyzed=len(files), violations=violations
+    )

@@ -1,0 +1,86 @@
+"""Deterministic reporters for analysis results.
+
+Two faces, same content: a ruff-style text listing for humans and a
+canonical JSON document (sorted keys, stable ordering) for the CI
+artifact.  Byte-determinism is not cosmetic here — the JSON report is
+diffed across runs, so the reporter honours the same ordered-output
+contract the EX003 rule enforces on the rest of the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.staticcheck.engine import CheckResult
+from repro.staticcheck.rules import RULES, Violation
+
+REPORT_VERSION = 1
+
+
+def render_text(
+    result: CheckResult,
+    new: Sequence[Violation],
+    suppressed: Sequence[Violation],
+    stale: Sequence[str],
+) -> str:
+    """Human-readable listing; one ``path:line:col RULE message`` per hit."""
+    lines: List[str] = []
+    for violation in new:
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1} "
+            f"{violation.rule} {violation.message}"
+        )
+    for key in stale:
+        lines.append(
+            f"STALE {key}: baseline entry matches no current violation — "
+            f"remove it (the code it excused was fixed)"
+        )
+    summary = (
+        f"existcheck: {result.files_analyzed} files, "
+        f"{len(new)} new violation(s), {len(suppressed)} baselined, "
+        f"{len(stale)} stale suppression(s)"
+    )
+    if new:
+        counts = {}
+        for violation in new:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        breakdown = ", ".join(
+            f"{rule_id}×{count}" for rule_id, count in sorted(counts.items())
+        )
+        summary += f" [{breakdown}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: CheckResult,
+    new: Sequence[Violation],
+    suppressed: Sequence[Violation],
+    stale: Sequence[str],
+) -> str:
+    """Canonical JSON document for the CI artifact (byte-stable)."""
+    payload: Dict[str, object] = {
+        "version": REPORT_VERSION,
+        "files_analyzed": result.files_analyzed,
+        "rules": {
+            rule_id: summary for rule_id, (summary, _fn) in sorted(RULES.items())
+        },
+        "new_violations": [v.to_dict() for v in new],
+        "suppressed": [v.to_dict() for v in suppressed],
+        "stale_suppressions": list(stale),
+        "summary": {
+            "new": len(new),
+            "suppressed": len(suppressed),
+            "stale": len(stale),
+            "by_rule": _count_by_rule(new),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _count_by_rule(violations: Sequence[Violation]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    return dict(sorted(counts.items()))

@@ -16,13 +16,13 @@ EXIST itself implements the same :class:`TracingScheme` contract in
 :mod:`repro.core.exist`.
 """
 
-from repro.tracing.base import TracingScheme, SchemeArtifacts
-from repro.tracing.oracle import OracleScheme
-from repro.tracing.stasam import StaSamScheme
+from repro.tracing.base import SchemeArtifacts, TracingScheme
 from repro.tracing.ebpf import EbpfScheme
-from repro.tracing.nht import NhtScheme
-from repro.tracing.rept import ReptScheme
 from repro.tracing.griffin import GriffinScheme
+from repro.tracing.nht import NhtScheme
+from repro.tracing.oracle import OracleScheme
+from repro.tracing.rept import ReptScheme
+from repro.tracing.stasam import StaSamScheme
 
 __all__ = [
     "TracingScheme",

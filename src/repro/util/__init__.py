@@ -6,27 +6,27 @@ seeded generators (see :mod:`repro.util.rng`) so that every experiment in
 ``benchmarks/`` is exactly reproducible.
 """
 
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.stats import (
+    OnlineStats,
+    cdf_points,
+    geometric_mean,
+    normalized_l1_distance,
+    percentile,
+    percentiles,
+)
 from repro.util.units import (
-    NSEC,
-    USEC,
-    MSEC,
-    SEC,
+    GIB,
     KIB,
     MIB,
-    GIB,
+    MSEC,
+    NSEC,
+    SEC,
+    USEC,
     fmt_bytes,
     fmt_time,
     ns_to_s,
     s_to_ns,
-)
-from repro.util.rng import RngFactory, derive_seed
-from repro.util.stats import (
-    OnlineStats,
-    percentile,
-    percentiles,
-    cdf_points,
-    geometric_mean,
-    normalized_l1_distance,
 )
 
 __all__ = [

@@ -21,6 +21,29 @@ from __future__ import annotations
 
 import itertools
 
+#: Module-global mutable state that is *deliberately* process-lifetime —
+#: never reset by replay harnesses — each with the reason it is exempt.
+#: This registry is the static half of the determinism contract: the
+#: EX005 rule of :mod:`repro.staticcheck` fails the build when a module
+#: grows mutable global state that is neither rewound by
+#: :func:`reset_identity_counters` nor consciously listed here.  The
+#: bar for an entry: its contents must be *output-invisible* (pure
+#: memoization — a hit and a miss produce byte-identical results) or
+#: explicit process configuration set through a documented API.
+PROCESS_LIFETIME_STATE = frozenset({
+    # pure memoization: cache hits never change decoded bytes, only speed
+    ("repro.hwtrace.cache", "_PROCESS_CACHE"),
+    ("repro.hwtrace.decoder", "_POOL_DECODERS"),
+    ("repro.cluster.master", "_WORKER_DECODERS"),
+    ("repro.program.generator", "_BINARY_CACHE"),
+    ("repro.program.path", "_PATH_CACHE"),
+    # process-role marker: set once by the pool worker initializer so
+    # nested RunPools degrade to in-process execution
+    ("repro.parallel.pool", "_IN_WORKER"),
+    # explicit configuration API (configure_transport), not ambient state
+    ("repro.parallel.transport", "_MODE"),
+})
+
 
 def reset_identity_counters() -> None:
     """Rewind all module-global identity streams to their boot values."""

@@ -32,7 +32,7 @@ class TestCategoryReport:
         decoded, binary = decoded_for("Search1")
         report = function_category_report("Search1", decoded, binary)
         assert sum(report.family_shares.values()) == pytest.approx(1.0)
-        for family, mix in report.within_family.items():
+        for mix in report.within_family.values():
             assert sum(mix.values()) == pytest.approx(1.0)
 
     def test_recommend_is_irq_and_mutex_heavy(self):

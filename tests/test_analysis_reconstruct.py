@@ -3,11 +3,7 @@
 import pytest
 
 from repro.analysis.accuracy import direct_path_accuracy
-from repro.analysis.reconstruct import (
-    coverage_by_thread,
-    reconstruct,
-    thread_labels,
-)
+from repro.analysis.reconstruct import coverage_by_thread, reconstruct, thread_labels
 from repro.experiments.scenarios import run_traced_execution
 from repro.hwtrace.tracer import TraceSegment
 from repro.kernel.task import Process

@@ -3,10 +3,7 @@
 import pytest
 
 from repro.core.exist import ExistScheme
-from repro.experiments.accuracy import (
-    direct_accuracy_vs_nht,
-    weight_accuracy_vs_nht,
-)
+from repro.experiments.accuracy import direct_accuracy_vs_nht, weight_accuracy_vs_nht
 from repro.util.units import MIB, MSEC
 
 

@@ -16,13 +16,7 @@ from repro.cluster.node import STOP_NODE_CRASH, ClusterNode
 from repro.cluster.pod import PodPhase
 from repro.core.config import TracingRequest
 from repro.experiments.scenarios import chaos_sweep, run_chaos_scenario
-from repro.faults import (
-    DegradationReport,
-    FaultInjector,
-    FaultKind,
-    FaultPlan,
-    FaultSpec,
-)
+from repro.faults import DegradationReport, FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
 from repro.program.workloads import get_workload
 from repro.util.units import MSEC

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hwtrace.cache import (
-    DecodeCache,
-    binary_fingerprint,
-    process_decode_cache,
-)
+from repro.hwtrace.cache import DecodeCache, binary_fingerprint, process_decode_cache
 from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace
 from repro.hwtrace.packets import (
     PacketError,

@@ -13,12 +13,7 @@ import numpy as np
 import pytest
 
 from repro.hwtrace.codec import scan_stream, scan_stream_resilient
-from repro.hwtrace.decoder import (
-    DecodedTrace,
-    SoftwareDecoder,
-    encode_trace,
-    encode_trace_objects,
-)
+from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace, encode_trace_objects
 from repro.hwtrace.packets import (
     OvfPacket,
     PacketError,

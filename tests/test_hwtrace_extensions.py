@@ -4,12 +4,7 @@ robustness: PTWRITE, hot switching, unified buffers, PSB resync."""
 import pytest
 
 from repro.hwtrace.decoder import SoftwareDecoder, encode_trace
-from repro.hwtrace.msr import (
-    RTIT_CR3_MATCH,
-    CtlBits,
-    RtitMsrFile,
-    TraceEnabledError,
-)
+from repro.hwtrace.msr import RTIT_CR3_MATCH, CtlBits, RtitMsrFile, TraceEnabledError
 from repro.hwtrace.packets import (
     PacketError,
     PipPacket,

@@ -2,13 +2,8 @@
 
 import pytest
 
-from repro.kernel.tracepoints import (
-    SCHED_SWITCH,
-    SYS_ENTER,
-    SchedSwitchRecord,
-    TracepointRegistry,
-)
 from repro.kernel.task import Process
+from repro.kernel.tracepoints import SCHED_SWITCH, SYS_ENTER, SchedSwitchRecord, TracepointRegistry
 
 
 class TestRegistry:

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.program.binary import FunctionCategory as FC
-from repro.program.generator import (
-    BinaryShape,
-    execution_weighted_categories,
-    generate_binary,
-)
+from repro.program.generator import BinaryShape, execution_weighted_categories, generate_binary
 from repro.program.path import PathModel
 
 

@@ -3,12 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.rco import (
-    augment_traces,
-    interval_intersection,
-    interval_length,
-    merge_intervals,
-)
+from repro.core.rco import augment_traces, interval_intersection, interval_length, merge_intervals
 from repro.hwtrace.packets import (
     PipPacket,
     PsbPacket,
@@ -37,7 +32,7 @@ intervals = st.lists(
 @given(intervals)
 def test_merge_intervals_disjoint_and_sorted(items):
     merged = merge_intervals(items)
-    for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+    for (_a1, b1), (a2, _b2) in zip(merged, merged[1:]):
         assert b1 < a2  # strictly disjoint and sorted
     for a, b in merged:
         assert a < b

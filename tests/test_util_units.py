@@ -2,18 +2,7 @@
 
 import pytest
 
-from repro.util.units import (
-    GIB,
-    KIB,
-    MIB,
-    MSEC,
-    SEC,
-    USEC,
-    fmt_bytes,
-    fmt_time,
-    ns_to_s,
-    s_to_ns,
-)
+from repro.util.units import GIB, KIB, MIB, MSEC, SEC, USEC, fmt_bytes, fmt_time, ns_to_s, s_to_ns
 
 
 class TestConversions:
