@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quick-lane pool soak: no fd/process leak across consecutive matrices.
+
+Spawns the persistent pool once, runs three consecutive scenario
+matrices through it, and asserts that the set of live children stays
+exactly the pool's width the whole time — persistent workers are
+*supposed* to be active children; what must never happen is growth
+(leaked forks per map) or shrinkage (silent worker death).  After
+shutdown, zero children may remain.
+
+Run from the repo root: ``PYTHONPATH=src python benchmarks/pool_soak.py``
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+from repro.parallel.matrix import grid, run_matrix, warmup_for
+from repro.parallel.pool import RunPool
+from repro.parallel.workers import process_pool_stats, shutdown_process_pool
+
+JOBS = 2
+ROUNDS = 3
+
+
+def main() -> int:
+    cells = grid(
+        ["de"], ["EXIST"], seeds=(7, 11),
+        overrides=(("work_seconds", 0.5),),
+    )
+    for warm in warmup_for(cells):
+        warm()
+
+    baseline = len(multiprocessing.active_children())
+    if baseline:
+        print(f"error: {baseline} children alive before the pool exists")
+        return 1
+
+    reference = None
+    with RunPool(max_workers=JOBS) as pool:
+        expected = pool._pool.width if pool.parallel else 0
+        for round_no in range(1, ROUNDS + 1):
+            results = run_matrix(cells, pool=pool)
+            alive = len(multiprocessing.active_children())
+            print(
+                f"round {round_no}: {len(results)} cells, "
+                f"{alive} live children (expected {expected})"
+            )
+            if alive != expected:
+                print("error: worker count drifted — leak or silent death")
+                return 1
+            rows = [r.to_dict() for r in results]
+            if reference is None:
+                reference = rows
+            elif rows != reference:
+                print("error: warm-worker results diverged across rounds")
+                return 1
+
+    stats = process_pool_stats()
+    shutdown_process_pool()
+    remaining = len(multiprocessing.active_children())
+    if remaining:
+        print(f"error: {remaining} children leaked past shutdown")
+        return 1
+    print(f"soak clean: {stats}; all workers reaped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

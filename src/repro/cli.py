@@ -17,6 +17,9 @@ Commands:
   injected ``--faults`` plan, printing the degradation summary);
 * ``chaos-sweep`` — run the seeded chaos scenario across fault seeds and
   aggregate the graceful-degradation accounting;
+* ``profile``   — run any other repro command under cProfile and report
+  the top-N cumulative hotspots (optionally as JSON), so perf PRs start
+  from data;
 * ``staticcheck`` — run the ``existcheck`` determinism & simulation-purity
   analyzer (EX001..EX006) over the source tree against the committed
   baseline.
@@ -242,6 +245,86 @@ def _cmd_staticcheck(args: argparse.Namespace) -> int:
     return run_staticcheck(args)
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile wrapper around any other CLI invocation.
+
+    ``repro profile -- trace Search1 --top 0`` runs the wrapped command
+    under cProfile and prints (and optionally writes as JSON) the top-N
+    hotspots by cumulative time — so perf work starts from measured
+    hotspots instead of guesses.
+    """
+    import cProfile
+    import io
+    import json
+    import pstats
+
+    wrapped = list(args.wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        print("profile: no wrapped command given "
+              "(try: repro profile -- trace Search1)", file=sys.stderr)
+        return 2
+    if wrapped[0] == "profile":
+        print("profile: refusing to profile itself", file=sys.stderr)
+        return 2
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        exit_code = main(wrapped)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    hotspots = []
+    for func, (ncalls, _primitive, tottime, cumtime, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: -kv[1][3]
+    ):
+        file_name, line, function = func
+        # profiler bookkeeping frames are noise, not hotspots
+        if function in ("<built-in method builtins.exec>", "enable"):
+            continue
+        hotspots.append({
+            "function": function,
+            "file": file_name,
+            "line": line,
+            "ncalls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+        if len(hotspots) >= args.top:
+            break
+
+    print()
+    print(format_table(
+        [
+            [
+                h["function"][:48],
+                f"{h['file'].rsplit('/', 1)[-1]}:{h['line']}",
+                h["ncalls"],
+                f"{h['tottime']:.4f}",
+                f"{h['cumtime']:.4f}",
+            ]
+            for h in hotspots
+        ],
+        headers=["function", "where", "calls", "tottime", "cumtime"],
+        title=f"top {args.top} hotspots of: repro {' '.join(wrapped)}",
+    ))
+    if args.json:
+        report = {
+            "command": wrapped,
+            "exit_code": exit_code,
+            "hotspots": hotspots,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"profile written to {args.json}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -322,6 +405,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
         help="repetition-aware decode cache shared across the sweep's runs",
     )
+    profile = sub.add_parser(
+        "profile",
+        help="run any repro command under cProfile and report hotspots",
+    )
+    profile.add_argument("--top", type=int, default=20,
+                         help="number of hotspots to report")
+    profile.add_argument("--json", default="",
+                         help="write the hotspot report JSON to this path")
+    profile.add_argument(
+        "wrapped", nargs=argparse.REMAINDER,
+        help="the repro command to profile (prefix with -- )",
+    )
+
     staticcheck = sub.add_parser(
         "staticcheck",
         help="existcheck — determinism & simulation-purity analyzer",
@@ -338,6 +434,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "cluster": _cmd_cluster,
     "chaos-sweep": _cmd_chaos_sweep,
+    "profile": _cmd_profile,
     "staticcheck": _cmd_staticcheck,
 }
 

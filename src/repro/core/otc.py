@@ -35,7 +35,7 @@ from repro.hwtrace.tracer import CoreTracer, TraceSegment
 from repro.kernel.system import KernelSystem
 from repro.kernel.task import Process
 from repro.kernel.timer import HighResolutionTimer
-from repro.kernel.tracepoints import SCHED_SWITCH, SchedSwitchRecord
+from repro.kernel.tracepoints import SCHED_SWITCH, SchedRecordLog, SchedSwitchRecord
 
 _session_ids = itertools.count(1)
 
@@ -51,8 +51,9 @@ class TracingSession:
     start_ns: int
     #: cores whose tracer the hook has enabled so far
     enabled_cores: Set[int] = field(default_factory=set)
-    #: five-tuple context-switch records (§3.3)
-    sched_records: List[tuple] = field(default_factory=list)
+    #: five-tuple context-switch records (§3.3), stored columnar — reads
+    #: still see the classic (timestamp, cpu, pid, tid, op) tuples
+    sched_records: SchedRecordLog = field(default_factory=SchedRecordLog)
     segments: List[TraceSegment] = field(default_factory=list)
     stopped: bool = False
     stop_reason: str = ""
@@ -207,13 +208,23 @@ class OperationAwareTracingController:
                 prev is not None and prev.pid == target_pid
             )
             if involves_target:
-                five_tuple: Optional[tuple] = record.five_tuple
                 fault = self.sched_fault
-                if fault is not None:
-                    five_tuple = fault(session, five_tuple)
-                if five_tuple is not None:
-                    session.sched_records.append(five_tuple)
+                if fault is None:
+                    # hot path: write the record's fields straight into
+                    # the columnar log — no tuple is ever materialized
+                    session.sched_records.append_switch(
+                        record.timestamp,
+                        record.cpu_id,
+                        nxt.pid if nxt is not None else 0,
+                        nxt.tid if nxt is not None else 0,
+                        nxt is not None,
+                    )
                     cost += self.ledger.charge_sidecar()
+                else:
+                    five_tuple = fault(session, record.five_tuple)
+                    if five_tuple is not None:
+                        session.sched_records.append(five_tuple)
+                        cost += self.ledger.charge_sidecar()
             if (
                 nxt is not None
                 and nxt.pid == target_pid

@@ -383,12 +383,149 @@ class SoftwareDecoder:
             return self._decode_cached(data, resilient)
         return self._decode_uncached(data, resilient)
 
-    def _decode_uncached(self, data: bytes, resilient: bool) -> DecodedTrace:
+    def _decode_uncached(
+        self, data: bytes, resilient: bool, try_canonical: bool = True
+    ) -> DecodedTrace:
+        if try_canonical:
+            fast = self._decode_canonical(data)
+            if fast is not None:
+                return fast
         if resilient:
             scanned = scan_stream_resilient(data)
         else:
             scanned = scan_stream(data)
         return self._reconstruct(scanned)
+
+    # -- canonical whole-stream fast path -----------------------------------
+
+    def _canonical_records(
+        self, data: bytes, plan
+    ) -> Optional[Tuple[List[bytes], np.ndarray, np.ndarray]]:
+        """Chunk bodies, record matrix, and uint64 record words of a
+        canonical plan.
+
+        Joins every chunk's event body (header and trailing OVF stripped)
+        and validates all 8-byte records in one vectorized pass — over the
+        little-endian *uint64 view* of the record matrix, so the three
+        framing checks run on contiguous words instead of strided byte
+        columns.  Returns ``None`` when any record is malformed — the
+        caller then falls back to the ordinary packet scan, whose error
+        semantics are definitive.
+        """
+        starts = plan.starts.tolist()
+        ends = plan.ends.tolist()
+        tails = plan.tail_ovf.tolist()
+        bodies = [
+            data[start + CHUNK_HEADER_BYTES : end - (2 if tail else 0)]
+            for start, end, tail in zip(starts, ends, tails)
+        ]
+        records = np.frombuffer(b"".join(bodies), dtype=np.uint8)
+        if records.size % 8:
+            return None
+        records = records.reshape(-1, 8)
+        # word layout (little-endian): byte0 = TNT, byte1 = TIP header,
+        # bytes 2..7 = 48-bit address in the word's high bits
+        words = records.view("<u8").ravel()
+        if words.size and not (
+            ((words & 0x01) == 0)
+            & ((words & 0xFF) >= 4)
+            & ((words & 0xFF00) == _TIP_HEADER_BYTE << 8)
+        ).all():
+            return None
+        return bodies, records, words
+
+    def _decode_canonical(self, data: bytes) -> Optional[DecodedTrace]:
+        """Direct bulk decode of a fully canonical stream, skipping the
+        per-packet scan *and* the per-packet column reconstruction.
+
+        Canonical streams (everything :func:`encode_trace` emits) need no
+        forward-fill: every chunk's timestamp and CR3 sit in its header,
+        so the whole stream decodes as one record matrix — bulk address
+        extraction, one ``searchsorted`` per distinct CR3, and
+        ``np.repeat`` of the header context over each chunk's records.
+        Returns ``None`` on any deviation (the scan path then owns the
+        stream); results are byte-identical to the scan path by
+        construction, since a canonical stream has no resyncs, skipped
+        bytes, PTWRITEs, or mid-chunk context switches.
+        """
+        if not data:
+            return None
+        buf = np.frombuffer(data, dtype=np.uint8)
+        plan = plan_chunks(data, buf, PSB_BYTES)
+        if plan is None or not plan.all_canonical:
+            return None
+        prepared = self._canonical_records(data, plan)
+        if prepared is None:
+            return None
+        bodies, _records, words = prepared
+        record_counts = np.fromiter(
+            (len(body) >> 3 for body in bodies), np.int64, len(bodies)
+        )
+        # the 48-bit TIP address occupies the word's high 6 bytes
+        addresses = (words >> np.uint64(16)).astype(np.int64)
+        record_cr3s = np.repeat(plan.cr3s, record_counts)
+        record_times = np.repeat(plan.times, record_counts)
+        distinct = sorted(set(plan.cr3s.tolist()))
+        if len(distinct) == 1:
+            # dominant shape (one traced process per core stream): resolve
+            # the whole column without building a selection mask
+            block_ids, function_ids = self._resolve_addresses(
+                distinct[0], addresses
+            )
+        else:
+            block_ids = np.full(addresses.size, -1, dtype=np.int64)
+            function_ids = np.full(addresses.size, -1, dtype=np.int64)
+            for cr3 in distinct:
+                selected = record_cr3s == cr3
+                if not selected.any():
+                    continue
+                blocks, functions = self._resolve_addresses(
+                    cr3, addresses[selected]
+                )
+                block_ids[selected] = blocks
+                function_ids[selected] = functions
+        unresolved = int(np.count_nonzero(block_ids < 0))
+        if unresolved:
+            keep = block_ids >= 0
+            record_times = record_times[keep]
+            record_cr3s = record_cr3s[keep]
+            block_ids = block_ids[keep]
+            function_ids = function_ids[keep]
+        return DecodedTrace(
+            timestamps=record_times,
+            cr3s=record_cr3s,
+            block_ids=block_ids,
+            function_ids=function_ids,
+            overflows=int(np.count_nonzero(plan.tail_ovf)),
+            unresolved=unresolved,
+        )
+
+    def _resolve_addresses(
+        self, cr3: int, addresses: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(block_ids, function_ids) for TIP addresses under one CR3.
+
+        Unresolvable addresses (unknown process, empty binary, or no
+        block at the address) come back as -1 in both columns.  When
+        every address hits — the overwhelmingly common case — the masked
+        ``np.where`` blends are skipped entirely.
+        """
+        table = self._tables.get(cr3)
+        if table is None or table[0].size == 0:
+            misses = np.full(addresses.size, -1, dtype=np.int64)
+            return misses, misses
+        sorted_addresses, slot_block_ids, binary_function_ids = table
+        slots = np.searchsorted(sorted_addresses, addresses)
+        np.minimum(slots, sorted_addresses.size - 1, out=slots)
+        hits = sorted_addresses[slots] == addresses
+        if hits.all():
+            block_ids = slot_block_ids[slots]
+            return block_ids, binary_function_ids[block_ids]
+        block_ids = np.where(hits, slot_block_ids[slots], -1)
+        function_ids = np.where(
+            hits, binary_function_ids[np.maximum(block_ids, 0)], -1
+        )
+        return block_ids, function_ids
 
     # -- repetition-aware cached path --------------------------------------
 
@@ -412,31 +549,16 @@ class SoftwareDecoder:
         plan = plan_chunks(data, buf, PSB_BYTES)
         if plan is None or not plan.all_canonical:
             cache.note_fallback()
-            return self._decode_uncached(data, resilient)
-
-        starts = plan.starts.tolist()
-        ends = plan.ends.tolist()
-        tails = plan.tail_ovf.tolist()
-        bodies = [
-            data[start + CHUNK_HEADER_BYTES : end - (2 if tail else 0)]
-            for start, end, tail in zip(starts, ends, tails)
-        ]
+            return self._decode_uncached(data, resilient, try_canonical=False)
 
         # content-based validation of every event record in one pass; a
         # cache hit implies its body already validated (same bytes), so
         # this also guards first-time bodies before any entry is built
-        records = np.frombuffer(b"".join(bodies), dtype=np.uint8)
-        if records.size % 8:
+        prepared = self._canonical_records(data, plan)
+        if prepared is None:
             cache.note_fallback()
-            return self._decode_uncached(data, resilient)
-        records = records.reshape(-1, 8)
-        if records.size and not (
-            ((records[:, 0] & 0x01) == 0)
-            & (records[:, 0] >= 4)
-            & (records[:, 1] == _TIP_HEADER_BYTE)
-        ).all():
-            cache.note_fallback()
-            return self._decode_uncached(data, resilient)
+            return self._decode_uncached(data, resilient, try_canonical=False)
+        bodies, records, _words = prepared
 
         cr3s = plan.cr3s.tolist()
         fingerprints = self._fingerprints

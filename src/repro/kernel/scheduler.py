@@ -136,9 +136,13 @@ class Scheduler:
             core.core_id: _RunQueue() for core in topology.cores
         }
         self._hooks: List[SchedulerHooks] = []
-        #: (tid, core_id) -> (tax, record_path), valid within one tracing
-        #: epoch; see invalidate_hook_cache()
-        self._hook_cache: Dict[Tuple[int, int], Tuple[float, bool]] = {}
+        #: packed (tid << 10 | core_id) -> (epoch, tax, record_path)
+        #: decision table; entries are valid while their epoch matches
+        #: :attr:`_hook_epoch` — see invalidate_hook_cache()
+        self._hook_cache: Dict[int, Tuple[int, float, bool]] = {}
+        #: current tracing epoch; bumping it invalidates every cached
+        #: decision in O(1) instead of clearing the table
+        self._hook_epoch = 0
         self.total_context_switches = 0
         self.total_migrations = 0
         #: (timestamp, cpu, pid, tid) log of switches, kept only if enabled
@@ -150,15 +154,15 @@ class Scheduler:
     def add_hooks(self, hooks: SchedulerHooks) -> None:
         """Register a tracing facility's hook surface."""
         self._hooks.append(hooks)
-        self._hook_cache.clear()
+        self.invalidate_hook_cache()
 
     def remove_hooks(self, hooks: SchedulerHooks) -> None:
         """Unregister a previously added hook surface."""
         self._hooks.remove(hooks)
-        self._hook_cache.clear()
+        self.invalidate_hook_cache()
 
     def invalidate_hook_cache(self) -> None:
-        """Drop cached per-thread hook decisions.
+        """Invalidate cached per-thread hook decisions.
 
         ``slice_tax``/``wants_path`` answers are cached per
         ``(tid, core_id)`` because for every scheme they are constant
@@ -167,8 +171,18 @@ class Scheduler:
         schemes installing or removing).  Facilities that mutate state a
         hook reads MUST call this at each such flip; ``add_hooks`` /
         ``remove_hooks`` invalidate automatically.
+
+        Invalidation bumps the epoch counter instead of clearing the
+        table: every stale entry dies in O(1), and a re-queried decision
+        overwrites its slot in place.  Under OTC's frequent window flips
+        this turns the per-epoch cost from O(#threads x #cores) into a
+        constant.  The table is cleared wholesale only when it outgrows a
+        fixed bound (long campaigns churning many thousands of threads),
+        which keeps stale-epoch entries from accumulating forever.
         """
-        self._hook_cache.clear()
+        self._hook_epoch += 1
+        if len(self._hook_cache) > 65536:
+            self._hook_cache.clear()
 
     def enable_switch_log(self) -> None:
         """Retain a (timestamp, cpu, pid, tid) record per context switch."""
@@ -273,18 +287,27 @@ class Scheduler:
         thread.last_core = core.core_id
         core.running = thread
 
-        key = (thread.tid, core.core_id)
-        cached = self._hook_cache.get(key)
-        if cached is not None:
-            tax, record_path = cached
-        else:
+        if not self._hooks:
+            # untraced systems skip the decision table entirely
             tax = 0.0
             record_path = False
-            for hooks in self._hooks:
-                tax += hooks.slice_tax(thread, core)
-                record_path = record_path or hooks.wants_path(thread, core)
-            tax = min(tax, 0.95)
-            self._hook_cache[key] = (tax, record_path)
+        else:
+            # packed int key: tuple construction and tuple hashing are
+            # measurably slower than a single int on this per-switch path
+            key = (thread.tid << 10) | core.core_id
+            epoch = self._hook_epoch
+            cached = self._hook_cache.get(key)
+            if cached is not None and cached[0] == epoch:
+                tax = cached[1]
+                record_path = cached[2]
+            else:
+                tax = 0.0
+                record_path = False
+                for hooks in self._hooks:
+                    tax += hooks.slice_tax(thread, core)
+                    record_path = record_path or hooks.wants_path(thread, core)
+                tax = min(tax, 0.95)
+                self._hook_cache[key] = (epoch, tax, record_path)
 
         speed = self.topology.speed_factor(core, thread.process.llc_pressure)
         work_rate = speed * (1.0 - tax)

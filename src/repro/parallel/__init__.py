@@ -16,9 +16,19 @@ from repro.parallel.transport import (
     resolve_shipped,
     transport_mode,
 )
+from repro.parallel.workers import (
+    WorkerPool,
+    process_pool,
+    process_pool_stats,
+    shutdown_process_pool,
+)
 
 __all__ = [
     "RunPool",
+    "WorkerPool",
+    "process_pool",
+    "process_pool_stats",
+    "shutdown_process_pool",
     "MatrixCell",
     "CellResult",
     "grid",

@@ -15,12 +15,22 @@ properties matter more than raw throughput:
   without ``fork``, or when already inside a pool worker, the pool runs
   tasks in-process through the exact same code path.
 
+:class:`RunPool` is a *facade*: the actual workers live in the
+process-wide persistent :class:`~repro.parallel.workers.WorkerPool`
+(forked once, reused by every ``RunPool`` for the life of the process,
+reaped at interpreter exit).  Constructing a ``RunPool`` therefore costs
+nothing after the first one, and ``close()`` merely detaches — which is
+what makes back-to-back matrices, decode fan-outs, and reconcile waves
+stop paying fork startup per call.  ``max_workers`` still means what it
+says: a ``RunPool(max_workers=2)`` dispatches over at most two workers of
+the shared pool, so ``--jobs`` keeps its CLI semantics.
+
 Fork-safety of randomness: the simulation never touches the global
 ``random`` / ``numpy`` generators (all streams come from
-:class:`repro.util.rng.RngFactory`), but a worker initializer still
-reseeds the globals from ``derive_seed(base_seed, "worker", pid)`` so any
-stray global-RNG use diverges per worker instead of silently duplicating
-the parent's state.
+:class:`repro.util.rng.RngFactory`), and the persistent workers reseed
+the globals per *task* from ``derive_seed(base_seed, "task", index)`` so
+any stray global-RNG use is a deterministic function of the task rather
+than of worker placement.
 """
 
 from __future__ import annotations
@@ -29,12 +39,11 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from repro.util.rng import derive_seed
-
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: set in workers by the initializer; nested RunPools then run in-process
+#: set in workers by the worker main loop; nested RunPools then run
+#: in-process
 _IN_WORKER = False
 
 
@@ -42,33 +51,24 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _worker_init(base_seed: int) -> None:
-    """Per-worker initializer: mark the process and reseed global RNGs."""
-    global _IN_WORKER
-    _IN_WORKER = True
-    import random
-
-    import numpy as np
-
-    seed = derive_seed(base_seed, "worker", os.getpid())
-    random.seed(seed)
-    np.random.seed(seed % (2**32 - 1))
-
-
 class RunPool:
-    """Order-preserving map over a fork process pool (or in-process).
+    """Order-preserving map over the shared fork pool (or in-process).
 
     Parameters
     ----------
     max_workers:
-        Worker count.  ``None`` means ``os.cpu_count()``;  ``<= 1`` forces
-        the in-process fallback.
+        Dispatch width.  ``None`` means ``os.cpu_count()``; ``<= 1``
+        forces the in-process fallback.  The shared persistent pool grows
+        to the largest width any ``RunPool`` has asked for and never
+        shrinks; narrower pools dispatch over a subset.
     base_seed:
-        Root of the per-worker global-RNG reseeding (does not influence
-        simulation results, which carry their own seeds).
+        Root of the per-task global-RNG reseeding in workers (does not
+        influence simulation results, which carry their own seeds).
     warmup:
-        Zero-argument callables run *in the parent, before forking* —
-        populate memoized caches here so workers inherit them.
+        Zero-argument callables run *in the parent* — populate memoized
+        caches here.  Workers forked after the warmup inherit the warm
+        caches copy-on-write; workers forked earlier warm up lazily on
+        first use and stay warm for every later map.
     chunksize:
         Cells dispatched to a worker per round trip.  Cells are coarse
         (milliseconds to seconds each), so the default of 1 keeps the
@@ -86,22 +86,17 @@ class RunPool:
             max_workers = os.cpu_count() or 1
         self.base_seed = int(base_seed)
         self.chunksize = max(1, int(chunksize))
-        self._executor = None
         for fn in warmup:
             fn()
         self.max_workers = max(1, int(max_workers))
         self.parallel = (
             self.max_workers > 1 and _fork_available() and not _IN_WORKER
         )
+        self._pool = None
         if self.parallel:
-            from concurrent.futures import ProcessPoolExecutor
+            from repro.parallel.workers import process_pool
 
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_worker_init,
-                initargs=(self.base_seed,),
-            )
+            self._pool = process_pool(self.max_workers, base_seed=self.base_seed)
 
     # -- mapping -----------------------------------------------------------
 
@@ -117,25 +112,32 @@ class RunPool:
         instead of the result pipe); ``map`` materializes them before
         returning so every shared-memory segment is reclaimed here, and
         in-process runs pass the original arrays through untouched.
+
+        A task exception stops further dispatch, drains in-flight tasks,
+        and re-raises in the caller — with every shared worker still
+        alive for the next map.
         """
         from repro.parallel.transport import resolve_shipped
 
         items = list(items)
-        if self._executor is None:
+        if self._pool is None or self._pool.closed:
             return [resolve_shipped(fn(item)) for item in items]
-        return [
-            resolve_shipped(result)
-            for result in self._executor.map(fn, items, chunksize=self.chunksize)
-        ]
+        return self._pool.map(
+            fn, items, chunksize=self.chunksize, width=self.max_workers
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the executor down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self.parallel = False
+        """Detach from the shared pool (idempotent).
+
+        The persistent workers deliberately survive — they are owned by
+        the process-wide pool and reaped at interpreter exit (or via
+        :func:`repro.parallel.workers.shutdown_process_pool`).  After
+        ``close()`` this ``RunPool`` runs maps in-process.
+        """
+        self._pool = None
+        self.parallel = False
 
     def __enter__(self) -> "RunPool":
         return self

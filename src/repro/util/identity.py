@@ -42,6 +42,13 @@ PROCESS_LIFETIME_STATE = frozenset({
     ("repro.parallel.pool", "_IN_WORKER"),
     # explicit configuration API (configure_transport), not ambient state
     ("repro.parallel.transport", "_MODE"),
+    # the persistent process-wide worker pool (process_pool() /
+    # shutdown_process_pool()): execution machinery, output-invisible —
+    # results are merged by task index, never by worker or pool identity
+    ("repro.parallel.workers", "_PROCESS_POOL"),
+    # monotonic worker-id stream: ids only name OS processes (respawned
+    # workers get fresh ids); no simulation output ever derives from them
+    ("repro.parallel.workers", "_worker_ids"),
 })
 
 

@@ -63,3 +63,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Complete" in out
         assert "management pod" in out
+
+
+class TestProfile:
+    def test_profile_wraps_command(self, capsys, tmp_path):
+        report = tmp_path / "prof.json"
+        assert main(
+            ["profile", "--top", "5", "--json", str(report), "--", "workloads"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tottime" in out and "cumtime" in out
+
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["command"] == ["workloads"]
+        assert payload["exit_code"] == 0
+        assert 0 < len(payload["hotspots"]) <= 5
+        hotspot = payload["hotspots"][0]
+        assert {"function", "file", "ncalls", "tottime", "cumtime"} <= set(hotspot)
+
+    def test_profile_propagates_exit_code(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "--", "not-a-command"])
+
+    def test_profile_requires_wrapped_command(self, capsys):
+        assert main(["profile"]) == 2
+        assert main(["profile", "--", "profile", "workloads"]) == 2

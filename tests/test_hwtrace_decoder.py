@@ -108,3 +108,56 @@ class TestForProcesses:
 
         decoder = SoftwareDecoder.for_processes([Process(name="nobin")])
         assert decoder.decode(b"") is not None
+
+
+class TestDecodedTraceEdgeCases:
+    def test_empty_trace(self):
+        import numpy as np
+
+        from repro.hwtrace.decoder import DecodedTrace
+
+        trace = DecodedTrace()
+        assert len(trace) == 0
+        assert trace.records == []
+        assert trace.block_sequence() == []
+        assert trace.function_histogram() == {}
+        assert trace.time_span() is None
+        counts = trace.visit_counts(4)
+        assert counts.shape == (4,) and not np.any(counts)
+
+    def test_single_record_trace(self):
+        from repro.hwtrace.decoder import DecodedRecord, DecodedTrace
+
+        trace = DecodedTrace.from_records([DecodedRecord(7, 0x1000, 2, 1)])
+        assert len(trace) == 1
+        assert trace.time_span() == (7, 7)
+        assert trace.block_sequence() == [2]
+        assert trace.block_sequence(cr3=0x2000) == []
+        assert trace.visit_counts(3).tolist() == [0, 0, 1]
+
+    def test_visit_counts_out_of_range_block_id(self):
+        import pytest
+
+        from repro.hwtrace.decoder import DecodedRecord, DecodedTrace
+
+        trace = DecodedTrace.from_records([DecodedRecord(1, 0x1000, 9, 0)])
+        with pytest.raises(IndexError, match="block id 9 out of range"):
+            trace.visit_counts(4)
+
+    def test_forward_fill_all_masked(self):
+        import numpy as np
+
+        from repro.hwtrace.decoder import _forward_fill
+
+        values = np.array([10, 20, 30], dtype=np.int64)
+        filled = _forward_fill(np.zeros(3, dtype=bool), values)
+        assert filled.tolist() == [0, 0, 0]
+
+    def test_forward_fill_partial_mask(self):
+        import numpy as np
+
+        from repro.hwtrace.decoder import _forward_fill
+
+        mask = np.array([False, True, False, True, False])
+        values = np.array([1, 2, 3, 4, 5], dtype=np.int64)
+        assert _forward_fill(mask, values).tolist() == [0, 2, 2, 4, 4]
