@@ -150,7 +150,7 @@ def _cache_stats_line(stats) -> str:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from repro.cluster import ClusterMaster, ClusterNode, TraceTaskSpec
+    from repro.cluster import ClusterMaster, TraceTaskSpec
     from repro.core.config import TraceReason
     from repro.faults import FaultPlan
 
@@ -160,13 +160,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         if not plan:
             plan = None
     master = ClusterMaster(seed=args.seed, decode_cache=args.decode_cache)
-    for index in range(args.nodes):
-        master.add_node(ClusterNode(f"node-{index:02d}", seed=index))
+    # lazy bulk registration: only traced nodes materialize, so --nodes
+    # scales to the thousands without paying per-node kernel builds
+    master.add_nodes(args.nodes)
     master.deploy(args.app, replicas=args.replicas)
     task = master.submit(TraceTaskSpec(
         app=args.app,
         reason=TraceReason(args.reason),
         period_ns=args.period_ms * MSEC,
+        max_repetitions=args.max_repetitions,
+        shards=args.shards,
     ))
     if args.jobs and args.jobs > 1:
         from repro.parallel import RunPool
@@ -176,6 +179,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     else:
         master.reconcile(task, faults=plan)
     print(f"task {task.name}: {task.status.phase.value}")
+    print(f"  control shards:     {task.status.shards}")
     print(f"  repetitions traced: {task.status.sessions_completed}/{args.replicas}")
     print(f"  period:             {fmt_time(task.status.period_ns)}")
     print(f"  captured:           {fmt_bytes(int(task.status.bytes_captured))}")
@@ -194,9 +198,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"degradation report written to {args.degradation_json}")
-    cache_stats = master.decode_cache_stats()
-    if cache_stats is not None:
-        print(_cache_stats_line(cache_stats))
+    # decode_cache_stats() is all-zero (never None) when caching is off
+    print(_cache_stats_line(master.decode_cache_stats()))
     footprint = master.management_footprint()
     print(f"management pod: {footprint.cpu_cores:.1e} cores, "
           f"{footprint.memory_mb:.0f} MB")
@@ -366,7 +369,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--seed", type=int, default=7)
     cluster.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for trace decoding")
+                         help="worker processes the reconcile shards over")
+    cluster.add_argument(
+        "--shards", type=int, default=None,
+        help="control-plane shard count (default: derived from --jobs)",
+    )
+    cluster.add_argument(
+        "--max-repetitions", type=int, default=None,
+        help="cap traced repetitions (default: RCO's spatial sampler)",
+    )
     cluster.add_argument(
         "--faults", default="",
         help="fault plan: preset name ('chaos') or comma-separated "

@@ -11,18 +11,28 @@ KernelSystem` plus an EXIST facility and host pods
 (:mod:`repro.cluster.node`, :mod:`repro.cluster.pod`).
 """
 
+from repro.cluster.autoscale import Autoscaler, AutoscalePolicy, ChurnModel
 from repro.cluster.campaign import ProfilingCampaign
 from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec, TraceTaskStatus
 from repro.cluster.detector import AnomalyEvent, AnomalyTrigger, MetricMonitor
+from repro.cluster.fleet import FleetIndex
 from repro.cluster.master import ClusterMaster, Deployment, RetryPolicy
-from repro.cluster.node import ClusterNode
+from repro.cluster.node import ClusterNode, NodeSpec, PodPlacement
 from repro.cluster.pod import Pod, PodPhase
+from repro.cluster.shard import ShardRing
 from repro.cluster.storage import ObjectStore, StructuredStore
 
 __all__ = [
     "Pod",
     "PodPhase",
     "ClusterNode",
+    "NodeSpec",
+    "PodPlacement",
+    "FleetIndex",
+    "ShardRing",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ChurnModel",
     "TraceTask",
     "TraceTaskSpec",
     "TraceTaskStatus",

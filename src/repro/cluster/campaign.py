@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.reconstruct import coverage_by_thread, thread_labels
 from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
 from repro.cluster.master import ClusterMaster
 from repro.core.config import TraceReason
@@ -109,22 +108,12 @@ class ProfilingCampaign:
         progress.tasks.append(task)
         if task.status.phase not in (TaskPhase.COMPLETE, TaskPhase.DEGRADED):
             return
-        deployment = self.master.deployments[app]
-        pods_by_uid = {pod.uid: pod for pod in deployment.pods}
-        for pod_uid in task.status.selected_pods:
-            pod = pods_by_uid.get(pod_uid)
-            if pod is None or pod.process is None:
-                continue
-            node = self.master.nodes[pod.node_name]
-            for completed in node.facility.completed:
-                if completed.target_name != app:
-                    continue
-                labels = thread_labels(pod.process)
-                per_thread = coverage_by_thread(
-                    completed.session.segments, labels
-                )
-                for intervals in per_thread.values():
-                    progress.coverage.extend(intervals)
+        # the master records per-pod coverage at reconcile time (the
+        # sessions may have run inside pool workers, so node facilities
+        # are not a reliable source here)
+        for per_thread in self.master.task_coverage.get(task.name, {}).values():
+            for intervals in per_thread.values():
+                progress.coverage.extend(intervals)
         progress.coverage = merge_intervals(progress.coverage)
 
     # -- reporting ---------------------------------------------------------------
@@ -137,8 +126,8 @@ class ProfilingCampaign:
             report[app] = progress.coverage_fraction(cycle)
         return report
 
-    def decode_cache_stats(self) -> Optional[Dict[str, object]]:
-        """The master's decode-cache counters (``None`` when disabled)."""
+    def decode_cache_stats(self) -> Dict[str, object]:
+        """The master's decode-cache counters (all-zero when disabled)."""
         return self.master.decode_cache_stats()
 
 

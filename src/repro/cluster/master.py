@@ -7,25 +7,45 @@ reconciled by (1) asking RCO which repetitions to trace and for how long,
 tracing window, and (4) uploading raw traces to the object store and the
 decoded, structured results to the analytical store — the paper's §4
 control and data flows end to end.
+
+Sharded reconcile: the per-node tracing work (session start, fault
+arming, retries, salvage, decode) is packaged as node-disjoint *slots*
+and distributed over consistent-hash shards, each shard running as one
+task on the shared persistent worker pool.  A thin coordinator keeps all
+cross-node decisions (RCO sampling, timed-fault victim choice, refill
+rounds, quarantine) and merges shard results in slot-index order, so
+``jobs=1`` and ``jobs=N`` reconciles are byte-identical on a pristine
+fleet — including fault injection, retry backoff, and coverage metrics.
+Per-pod coordinator bookkeeping lives in numpy columns
+(:class:`~repro.cluster.fleet.FleetIndex`), which is what lets one
+master drive thousands of (lazily materialized) nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.reconstruct import coverage_by_thread, thread_labels
+from repro.cluster import fleet as fleet_codes
 from repro.cluster.crd import TaskPhase, TraceTask, TraceTaskSpec
-from repro.cluster.node import STOP_NODE_CRASH, STOP_POD_KILLED, ClusterNode
+from repro.cluster.fleet import FleetIndex
+from repro.cluster.node import (
+    STOP_NODE_CRASH,
+    STOP_POD_KILLED,
+    ClusterNode,
+)
 from repro.cluster.pod import Pod
+from repro.cluster.shard import ShardRing
 from repro.cluster.storage import BinaryRepository, ObjectStore, StructuredStore
-from repro.core.config import ExistConfig, TracingRequest
-from repro.core.otc import TracingSession
+from repro.core.config import ExistConfig, TraceReason, TracingRequest
 from repro.core.rco import CoverageMetric, Repetition, RepetitionAwareCoverageOptimizer
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, TimedAssignment
 from repro.faults.plan import FaultPlan
 from repro.faults.report import DegradationReport
 from repro.hwtrace.cache import DecodeCache, process_decode_cache
 from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace
+from repro.kernel.system import SystemConfig
 from repro.parallel.pool import RunPool
 from repro.program.workloads import WorkloadProfile, get_workload
 from repro.util.units import MIB, MSEC
@@ -37,8 +57,18 @@ from repro.util.units import MIB, MSEC
 _WORKER_DECODERS: Dict[str, SoftwareDecoder] = {}
 
 
+def _worker_decoder(app: str, use_cache: bool) -> SoftwareDecoder:
+    """This worker's per-app decoder, cache attached per the task flag."""
+    decoder = _WORKER_DECODERS.get(app)
+    if decoder is None:
+        decoder = SoftwareDecoder({})
+        _WORKER_DECODERS[app] = decoder
+    decoder.cache = process_decode_cache() if use_cache else None
+    return decoder
+
+
 def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes, bool]):
-    """Decode one session's raw bytes in a pool worker.
+    """Decode one session's raw bytes in a pool worker (legacy fan-out).
 
     Returns the decoded trace as shipped SoA columns (shared memory when
     available); the parent derives the degradation accounting from them,
@@ -47,15 +77,20 @@ def _decode_session(payload: Tuple[str, Tuple[int, ...], bytes, bool]):
     forked workers inherit the parent's warm entries copy-on-write.
     """
     app, cr3s, raw, use_cache = payload
-    decoder = _WORKER_DECODERS.get(app)
-    if decoder is None:
-        decoder = SoftwareDecoder({})
-        _WORKER_DECODERS[app] = decoder
-    decoder.cache = process_decode_cache() if use_cache else None
+    decoder = _worker_decoder(app, use_cache)
     binary = get_workload(app).binary()
     for cr3 in cr3s:
         decoder.add_binary(cr3, binary)
     return decoder.decode(raw, resilient=True).to_shipped()
+
+
+def _warm_worker_binary(app: str) -> None:
+    """Regenerate ``app``'s memoized binary in this worker (warmup).
+
+    Broadcast once per reconcile so the first fan-out round doesn't pay
+    code generation in every worker mid-wave.
+    """
+    get_workload(app).binary()
 
 
 def _session_stats(decoded: DecodedTrace) -> Tuple[int, int, int, int]:
@@ -74,18 +109,247 @@ class RetryPolicy:
 
     A reconcile runs in *waves*: the initial attempt plus up to
     ``max_waves - 1`` retries.  Between waves the master backs off in
-    virtual time (exponentially), restarts crashed nodes when allowed,
-    quarantines nodes that failed ``quarantine_threshold`` times, and
-    asks RCO's spatial sampler for replacement replicas.
+    virtual time (exponentially, capped at ``max_backoff_ms``), restarts
+    crashed nodes when allowed, quarantines nodes that failed
+    ``quarantine_threshold`` times, and asks RCO's spatial sampler for
+    replacement replicas.
     """
 
     max_waves: int = 3
     backoff_base_ms: int = 25
+    #: ceiling for one exponential backoff step — keeps high attempt
+    #: counts from overflowing into absurd virtual-time jumps
+    max_backoff_ms: int = 1000
     #: extra virtual time granted to a session still running after its
     #: window, before the master force-stops it
     straggler_timeout_ms: int = 200
     quarantine_threshold: int = 2
     restart_crashed_nodes: bool = True
+
+    def backoff_ns(self, wave: int) -> int:
+        """Backoff granted before retry wave ``wave`` (overflow-safe)."""
+        if wave <= 0:
+            return 0
+        exponent = min(wave - 1, 62)
+        ms = min(self.backoff_base_ms * (2 ** exponent), self.max_backoff_ms)
+        return int(ms) * MSEC
+
+
+@dataclass(frozen=True)
+class SlotTask:
+    """One node-disjoint unit of reconcile work (picklable)."""
+
+    slot: int
+    app: str
+    pod_uid: str
+    node_name: str
+    reason: TraceReason
+    requester: str
+    period_ns: int
+    window_ns: int
+    #: global wave index of this slot's first attempt (0 for the initial
+    #: selection, the refill round number for replacements)
+    start_wave: int
+    #: virtual-time backoff the node serves before its first attempt
+    #: (the backoff steps of the rounds it missed)
+    initial_backoff_ns: int
+    #: coordinator-chosen timed faults targeting this slot's node
+    assignments: Tuple[TimedAssignment, ...] = ()
+
+
+@dataclass
+class SlotOutcome:
+    """What one slot reports back to the coordinator (picklable)."""
+
+    slot: int
+    node_name: str
+    pod_uid: str
+    app: str
+    label: str = ""
+    attempts: int = 0
+    start_wave: int = 0
+    achieved: bool = False
+    salvaged: bool = False
+    completed: bool = False
+    cr3: int = 0
+    raw: bytes = b""
+    dropped: int = 0
+    bytes_captured: float = 0.0
+    rejected_bytes: float = 0.0
+    records: int = 0
+    functions: int = 0
+    resyncs: int = 0
+    bytes_skipped: int = 0
+    node_failures: int = 0
+    quarantined: bool = False
+    #: thread label -> merged coverage intervals (profiling campaigns)
+    coverage: Dict[str, list] = field(default_factory=dict)
+    #: this slot's degradation deltas + chronological notes
+    report: DegradationReport = field(default_factory=DegradationReport)
+
+
+def _run_slot(
+    node: ClusterNode,
+    pod: Pod,
+    slot_task: SlotTask,
+    policy: RetryPolicy,
+    injector: Optional[FaultInjector],
+) -> SlotOutcome:
+    """Run one slot's attempt loop against a live node.
+
+    This is the former global wave body, scoped to a single node: start
+    the session, arm faults, drive the window, grant straggler grace,
+    classify, and retry in place after a crash (the node restarts with
+    its pinned pod identities, so retries stay byte-deterministic).  All
+    accounting goes to the outcome's scratch report; the coordinator
+    merges scratch reports in slot order.
+    """
+    outcome = SlotOutcome(
+        slot=slot_task.slot,
+        node_name=node.name,
+        pod_uid=pod.uid,
+        app=pod.app,
+        start_wave=slot_task.start_wave,
+    )
+    report = outcome.report
+    failures = 0
+    quarantined = False
+
+    def register_failure() -> None:
+        nonlocal failures, quarantined
+        failures += 1
+        if failures >= policy.quarantine_threshold and not quarantined:
+            quarantined = True
+            report.note(f"quarantined {node.name} after {failures} failures")
+
+    if slot_task.initial_backoff_ns:
+        node.run_for(slot_task.initial_backoff_ns)
+
+    session = None
+    crash_counted = False
+    wave = slot_task.start_wave
+    while wave < policy.max_waves:
+        outcome.attempts += 1
+        label = f"{node.name}/{pod.app}#w{wave}"
+        outcome.label = label
+        if not node.alive:
+            # only reachable on a retry attempt: the crashed node reboots
+            # (kubelet restartPolicy) unless policy or quarantine forbids
+            if policy.restart_crashed_nodes and not quarantined:
+                node.restart()
+                report.nodes_restarted += 1
+                report.note(f"restarted {node.name}")
+        request = TracingRequest(
+            target=pod.app,
+            reason=slot_task.reason,
+            period_ns=slot_task.period_ns,
+            requester=slot_task.requester,
+        )
+        try:
+            session = node.trace_pod(pod, request)
+        except RuntimeError:
+            cause = "node down" if not node.alive else "pod not running"
+            register_failure()
+            report.note(f"session start failed on {label}: {cause}")
+            session = None
+            break
+        outcome.cr3 = session.target.cr3
+        if injector is not None:
+            assignments = (
+                slot_task.assignments if wave == slot_task.start_wave else ()
+            )
+            injector.arm_slot(
+                node, pod, session, label, wave, slot_task.window_ns,
+                assignments=assignments, report=report,
+            )
+        node.run_for(slot_task.window_ns)
+        # stragglers: grant extra time, then force-stop survivors
+        if not session.stopped and node.alive:
+            node.run_for(policy.straggler_timeout_ms * MSEC)
+        if not session.stopped and node.alive:
+            node.facility.stop_tracing(session, "reconcile-timeout")
+        if injector is not None:
+            injector.disarm_slot(node)
+
+        if not node.alive and not crash_counted:
+            crash_counted = True
+            report.nodes_crashed += 1
+            report.note(f"{node.name} crashed mid-window")
+        if session.stop_reason == STOP_NODE_CRASH:
+            # trace bytes lived in node DRAM: unrecoverable, but the
+            # replica itself comes back with the node reboot
+            report.sessions_abandoned += 1
+            report.note(f"abandoned {label}: node crash")
+            register_failure()
+            session = None
+            if policy.restart_crashed_nodes and not quarantined:
+                wave += 1
+                continue
+            break
+        if session.stop_reason == STOP_POD_KILLED:
+            # facility survived: salvage the partial window
+            report.pods_killed += 1
+            report.sessions_degraded += 1
+            report.note(f"salvaged partial window of {label}")
+            outcome.salvaged = True
+            outcome.completed = True
+            break
+        outcome.achieved = True
+        outcome.completed = True
+        break
+
+    outcome.node_failures = failures
+    outcome.quarantined = quarantined
+    if outcome.completed and session is not None:
+        raw = encode_trace(session.segments)
+        dropped = 0
+        if injector is not None:
+            raw, dropped = injector.mangle(raw, outcome.label, report=report)
+        outcome.raw = raw
+        outcome.dropped = dropped
+        outcome.bytes_captured = session.bytes_captured
+        outcome.rejected_bytes = float(
+            sum(
+                max(0.0, s.bytes_offered - s.bytes_accepted)
+                for s in session.segments
+            )
+        )
+        if pod.process is not None:
+            outcome.coverage = coverage_by_thread(
+                session.segments, thread_labels(pod.process)
+            )
+    return outcome
+
+
+def _run_shard(payload) -> List[SlotOutcome]:
+    """Run one shard's slots in a pool worker.
+
+    Rebuilds each slot's node from its :class:`NodeSpec` (pinned
+    pid/tids: no identity counters are drawn, and the rebuilt node
+    produces byte-identical trace output to the coordinator's pristine
+    original), runs the slot loop, and decodes in-worker against the
+    fork-inherited binary cache.  Ships back compact outcomes only.
+    """
+    specs, slot_tasks, policy, plan, use_cache = payload
+    nodes = {spec.name: ClusterNode.from_spec(spec) for spec in specs}
+    injector = FaultInjector(plan) if plan is not None else None
+    outcomes = []
+    for slot_task in slot_tasks:
+        node = nodes[slot_task.node_name]
+        pod = next(p for p in node.pods if p.uid == slot_task.pod_uid)
+        outcome = _run_slot(node, pod, slot_task, policy, injector)
+        if outcome.completed:
+            decoder = _worker_decoder(slot_task.app, use_cache)
+            decoder.add_binary(outcome.cr3, get_workload(slot_task.app).binary())
+            decoded = decoder.decode(outcome.raw, resilient=True)
+            (
+                outcome.records,
+                outcome.functions,
+                outcome.resyncs,
+                outcome.bytes_skipped,
+            ) = _session_stats(decoded)
+        outcomes.append(outcome)
+    return outcomes
 
 
 @dataclass
@@ -117,10 +381,17 @@ class ClusterMaster:
     """The Kubernetes-master stand-in hosting the EXIST control plane."""
 
     #: RCO management pod baseline (measured in the paper: <3e-3 cores,
-    #: ~40 MB under high stress on a ten-node cluster)
+    #: ~40 MB under high stress on a ten-node cluster; expanded to a
+    #: thousand nodes the overhead stays below one permille)
     MGMT_BASE_MEMORY = 38 * MIB
     MGMT_CPU_PER_TASK = 2e-3
     MGMT_MEMORY_PER_TASK = int(0.2 * MIB)
+    #: columnar fleet state: ~1.5 KiB/node and ~0.5 KiB/pod of arrays,
+    #: watch caches, and heartbeat state — the terms that matter at
+    #: multi-thousand-node scale
+    MGMT_CPU_PER_NODE = 5e-8
+    MGMT_MEMORY_PER_NODE = 1536
+    MGMT_MEMORY_PER_POD = 512
 
     def __init__(
         self,
@@ -148,9 +419,18 @@ class ClusterMaster:
         self.structured_store.create_table("traces")
         self.tasks: List[TraceTask] = []
         self._active_tasks = 0
+        #: next bulk-registration index per name prefix — monotone even
+        #: across node removals, so churn replacements never reuse (and
+        #: thereby resurrect) a drained node's name
+        self._name_floor: Dict[str, int] = {}
         #: one decoder per app, reused across tasks; new pods only extend
         #: its cr3 mapping (SoftwareDecoder.add_binary)
         self._decoders: Dict[str, SoftwareDecoder] = {}
+        #: task name -> pod uid -> {thread label: coverage intervals},
+        #: recorded at reconcile time (profiling campaigns read this
+        #: instead of reaching into node facilities, which may have run
+        #: inside a pool worker)
+        self.task_coverage: Dict[str, Dict[str, Dict[str, list]]] = {}
 
     # -- cluster assembly --------------------------------------------------------
 
@@ -159,6 +439,75 @@ class ClusterMaster:
         if node.name in self.nodes:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        prefix, _, suffix = node.name.rpartition("-")
+        if prefix and suffix.isdigit():
+            self._name_floor[prefix] = max(
+                self._name_floor.get(prefix, 0), int(suffix) + 1
+            )
+
+    def add_nodes(
+        self,
+        count: int,
+        prefix: str = "node",
+        base_seed: int = 0,
+        system_config: Optional[SystemConfig] = None,
+        exist_config: Optional[ExistConfig] = None,
+    ) -> List[ClusterNode]:
+        """Bulk-register ``count`` lazy nodes (the scale path).
+
+        Lazy nodes defer their kernel/facility build until a reconcile
+        actually traces them, so registering thousands costs microseconds
+        per node.  Names continue after the highest index *ever used*
+        for the prefix (monotone across removals), which is what node
+        churn and autoscaling rely on: a replacement never resurrects a
+        drained node's name.
+        """
+        start = self._name_floor.get(prefix, 0)
+        created = []
+        for offset in range(count):
+            index = start + offset
+            node = ClusterNode(
+                f"{prefix}-{index:05d}",
+                system_config=system_config,
+                exist_config=exist_config,
+                seed=base_seed + index,
+                lazy=True,
+            )
+            self.add_node(node)
+            created.append(node)
+        return created
+
+    def remove_node(self, name: str, reschedule: bool = True) -> ClusterNode:
+        """Drain one node out of the cluster (churn / scale-in).
+
+        Its pods are evicted from their deployments; with ``reschedule``
+        the replica controller immediately places fresh replacements on
+        the least-loaded surviving nodes (name-ordered within a load
+        tier), so a reconcile running after churn still finds its
+        replica count and repeated churn doesn't pile replicas onto the
+        first survivor.
+        """
+        node = self.nodes.pop(name)
+        load: Dict[str, int] = {survivor: 0 for survivor in self.nodes}
+        for deployment in self.deployments.values():
+            for pod in deployment.pods:
+                if pod.node_name in load:
+                    load[pod.node_name] += 1
+        for deployment in self.deployments.values():
+            evicted = [pod for pod in deployment.pods if pod.node_name == name]
+            if not evicted:
+                continue
+            deployment.pods = [
+                pod for pod in deployment.pods if pod.node_name != name
+            ]
+            if reschedule and self.nodes:
+                for _ in evicted:
+                    target = min(sorted(load), key=load.get)
+                    load[target] += 1
+                    deployment.pods.append(
+                        self.nodes[target].place_pod(deployment.profile)
+                    )
+        return node
 
     def deploy(
         self,
@@ -202,37 +551,77 @@ class ClusterMaster:
             decoder.add_binary(cr3, binary)
         return decoder
 
-    @staticmethod
-    def _dedupe_per_node(selected: Sequence[Repetition]) -> List[Repetition]:
-        """One traced pod per (app, node): a node facility runs at most
-        one session per core set, and CPU-share pods map to every core."""
-        seen_nodes = set()
-        deduped = []
-        for repetition in sorted(selected, key=lambda r: r.node):
-            if repetition.node in seen_nodes:
-                continue
-            seen_nodes.add(repetition.node)
-            deduped.append(repetition)
-        return deduped
+    # -- sharded reconcile ------------------------------------------------------
 
-    @staticmethod
-    def _register_node_failure(
-        name: str,
-        node_failures: Dict[str, int],
-        quarantined: Set[str],
+    def _dispatch_round(
+        self,
+        slot_tasks: List[SlotTask],
+        pods_by_uid: Dict[str, Pod],
+        ring: ShardRing,
+        pool: Optional[RunPool],
         policy: RetryPolicy,
-        report: DegradationReport,
-    ) -> None:
-        """Count one node failure; quarantine past the policy threshold."""
-        node_failures[name] = node_failures.get(name, 0) + 1
-        if (
-            node_failures[name] >= policy.quarantine_threshold
-            and name not in quarantined
-        ):
-            quarantined.add(name)
-            report.note(
-                f"quarantined {name} after {node_failures[name]} failures"
+        faults: Optional[FaultPlan],
+        injector: Optional[FaultInjector],
+        binary,
+    ) -> List[SlotOutcome]:
+        """Run one round's slots — sharded over the pool when possible.
+
+        The worker path requires every slot node to be *rebuildable*
+        (pristine: a spec rebuild is then byte-identical to the live
+        object) and the repository binary to be the memoized one (workers
+        regenerate it from the fork-inherited cache).  Anything else runs
+        the identical slot loop in-process on the live nodes, so both
+        paths produce the same outcomes.
+        """
+        app = slot_tasks[0].app
+        use_cache = self.decode_cache is not None
+        fan_out = (
+            pool is not None
+            and pool.parallel
+            and binary is get_workload(app).binary()
+            and all(
+                self.nodes[st.node_name].rebuildable for st in slot_tasks
             )
+        )
+        if fan_out:
+            assert pool is not None
+            payloads = []
+            for group in ring.partition([st.node_name for st in slot_tasks]):
+                if not group:
+                    continue
+                shard_slots = tuple(slot_tasks[i] for i in group)
+                specs = tuple(
+                    self.nodes[name].to_spec()
+                    for name in dict.fromkeys(
+                        st.node_name for st in shard_slots
+                    )
+                )
+                payloads.append((specs, shard_slots, policy, faults, use_cache))
+            outcomes = [
+                outcome
+                for shard in pool.map(_run_shard, payloads)
+                for outcome in shard
+            ]
+            for slot_task in slot_tasks:
+                self.nodes[slot_task.node_name].trace_epochs += 1
+        else:
+            outcomes = []
+            for slot_task in slot_tasks:
+                node = self.nodes[slot_task.node_name]
+                pod = pods_by_uid[slot_task.pod_uid]
+                outcome = _run_slot(node, pod, slot_task, policy, injector)
+                if outcome.completed:
+                    decoder = self._decoder_for(app, binary, (outcome.cr3,))
+                    decoded = decoder.decode(outcome.raw, resilient=True)
+                    (
+                        outcome.records,
+                        outcome.functions,
+                        outcome.resyncs,
+                        outcome.bytes_skipped,
+                    ) = _session_stats(decoded)
+                outcomes.append(outcome)
+        outcomes.sort(key=lambda outcome: outcome.slot)
+        return outcomes
 
     def reconcile(
         self,
@@ -244,12 +633,12 @@ class ClusterMaster:
     ) -> TraceTask:
         """Run the full reconciliation loop for one task.
 
-        ``pool`` (optional) fans the per-session decode out across
-        workers; results are identical to the sequential path.
-        ``faults`` (optional) arms a seeded :class:`FaultPlan` against
-        the run; the reconcile then *degrades* instead of failing —
-        retrying in waves per ``retry_policy``, resampling replacement
-        replicas, salvaging partial windows, and attaching a
+        ``pool`` (optional) shards the per-node tracing + decode work
+        across workers; results are byte-identical to the sequential
+        path.  ``faults`` (optional) arms a seeded :class:`FaultPlan`
+        against the run; the reconcile then *degrades* instead of
+        failing — retrying in waves per ``retry_policy``, resampling
+        replacement replicas, salvaging partial windows, and attaching a
         :class:`DegradationReport` with the honest loss accounting.
         """
         policy = retry_policy or RetryPolicy()
@@ -284,239 +673,199 @@ class ClusterMaster:
         selected = plan.selected
         if task.spec.max_repetitions is not None:
             selected = selected[: task.spec.max_repetitions]
-        selected = self._dedupe_per_node(selected)
-        coverage_requested = len(selected)
+
+        # columnar fleet state: phase transitions, retry/quarantine
+        # bitmaps and coverage rollups are array ops from here on
+        fleet = FleetIndex(
+            uids=[pod.uid for pod in deployment.pods],
+            node_names=[pod.node_name for pod in deployment.pods],
+            priorities=[pod.priority for pod in deployment.pods],
+        )
+        slot_rows = fleet.dedupe_first_per_node(
+            fleet.rows_of([r.pod_uid for r in selected])
+        )
+        fleet.mark_selected(slot_rows)
+        coverage_requested = int(len(slot_rows))
         task.status.period_ns = plan.period_ns
-        task.status.selected_pods = [r.pod_uid for r in selected]
+        task.status.selected_pods = [str(uid) for uid in fleet.uids[slot_rows]]
         task.status.phase = TaskPhase.SCHEDULED
         self._active_tasks += 1
 
-        # (2+3) trace in waves: attempt, classify, retry with replacements
-        pods_by_uid = {pod.uid: pod for pod in deployment.pods}
-        rep_by_uid = {r.pod_uid: r for r in repetitions}
-        window = plan.period_ns + settle_ms * MSEC
-        attempted: Set[str] = set()
-        quarantined: Set[str] = set()
-        crashed_seen: Set[str] = set()
-        node_failures: Dict[str, int] = {}
-        achieved = 0
-        #: (node, pod, session, label, salvaged) rows ready for upload
-        completed: List[
-            Tuple[ClusterNode, Pod, TracingSession, str, bool]
-        ] = []
-        pending = list(selected)
-        wave = 0
-        while pending and wave < policy.max_waves:
-            if wave > 0:
-                report.retry_waves += 1
-            # restart crashed nodes feeding this wave (kubelet reboots)
-            for name in sorted(
-                {pods_by_uid[r.pod_uid].node_name for r in pending}
-            ):
-                node = self.nodes[name]
-                if (
-                    not node.alive
-                    and policy.restart_crashed_nodes
-                    and name not in quarantined
-                ):
-                    node.restart()
-                    report.nodes_restarted += 1
-                    report.note(f"restarted {name}")
-
-            participants: List[
-                Tuple[ClusterNode, Pod, TracingSession, str]
-            ] = []
-            for repetition in pending:
-                pod = pods_by_uid[repetition.pod_uid]
-                node = self.nodes[pod.node_name]
-                attempted.add(pod.uid)
-                label = f"{pod.node_name}/{pod.app}#w{wave}"
-                node_request = TracingRequest(
-                    target=pod.app,
-                    reason=task.spec.reason,
-                    period_ns=plan.period_ns,
-                    requester=task.spec.requester,
-                )
-                try:
-                    session = node.trace_pod(pod, node_request)
-                except RuntimeError:
-                    cause = "node down" if not node.alive else "pod not running"
-                    self._register_node_failure(
-                        node.name, node_failures, quarantined, policy, report
-                    )
-                    report.note(f"session start failed on {label}: {cause}")
-                    continue
-                participants.append((node, pod, session, label))
-            task.status.phase = TaskPhase.TRACING
-
-            if injector is not None:
-                injector.begin_wave(wave, participants, window)
-            for node, _, _, _ in participants:
-                node.run_for(window)
-            # stragglers: grant extra time, then force-stop survivors
-            for node, _pod, session, _label in participants:
-                if not session.stopped and node.alive:
-                    node.run_for(policy.straggler_timeout_ms * MSEC)
-                if not session.stopped and node.alive:
-                    node.facility.stop_tracing(session, "reconcile-timeout")
-            if injector is not None:
-                injector.end_wave()
-
-            # classify wave outcomes
-            retryable: List[Repetition] = []
-            for node, pod, session, label in participants:
-                if not node.alive and node.name not in crashed_seen:
-                    crashed_seen.add(node.name)
-                    report.nodes_crashed += 1
-                    report.note(f"{node.name} crashed mid-window")
-                if session.stop_reason == STOP_NODE_CRASH:
-                    # trace bytes lived in node DRAM: unrecoverable, but
-                    # the replica itself comes back with the node reboot
-                    report.sessions_abandoned += 1
-                    report.note(f"abandoned {label}: node crash")
-                    self._register_node_failure(
-                        node.name, node_failures, quarantined, policy, report
-                    )
-                    if policy.restart_crashed_nodes:
-                        retryable.append(rep_by_uid[pod.uid])
-                elif session.stop_reason == STOP_POD_KILLED:
-                    # facility survived: salvage the partial window
-                    report.pods_killed += 1
-                    report.sessions_degraded += 1
-                    report.note(f"salvaged partial window of {label}")
-                    completed.append((node, pod, session, label, True))
-                else:
-                    achieved += 1
-                    completed.append((node, pod, session, label, False))
-
-            need = coverage_requested - achieved
-            if need <= 0:
-                break
-            wave += 1
-            if wave >= policy.max_waves:
-                break
-            # exponential backoff before the retry wave (virtual time)
-            backoff_ns = policy.backoff_base_ms * (2 ** (wave - 1)) * MSEC
-            for name in sorted(self.nodes):
-                if self.nodes[name].alive:
-                    self.nodes[name].run_for(backoff_ns)
-            # RCO resamples replacement replicas (§3.4), avoiding pods
-            # already tried and anything on a quarantined node
-            exclude = set(attempted)
-            exclude.update(
-                pod.uid
-                for pod in deployment.pods
-                if pod.node_name in quarantined
-            )
-            replacements = self.rco.spatial.resample(
-                repetitions, need, exclude=exclude
-            )
-            replacements = list(replacements) + [
-                r for r in retryable if r.node not in quarantined
-            ]
-            pending = self._dedupe_per_node(replacements)
-            if pending:
-                report.note(
-                    f"wave {wave}: retrying {len(pending)} replacements"
-                )
-
-        # (4) upload raw traces (mangled by the injector if the plan says
-        # so — before the store, so every decode path sees the same
-        # bytes), decode, persist structured rows
-        task.status.phase = TaskPhase.DECODING
-        app = task.spec.app
-        binary = self.binary_repository.fetch(app)
-        cr3s = tuple(
-            sorted({session.target.cr3 for _, _, session, _, _ in completed})
+        n_shards = task.spec.shards or (
+            pool.max_workers if pool is not None else 1
         )
-        decoder = self._decoder_for(app, binary, cr3s)
-
-        uploads: List[Tuple[Pod, str, int, str, bool, int]] = []
-        for _node, pod, session, label, salvaged in completed:
-            raw = encode_trace(session.segments)
-            dropped = 0
-            if injector is not None:
-                raw, dropped = injector.mangle(raw, label)
-            key = f"traces/{task.name}/{pod.uid}"
-            self.object_store.put(key, raw)
-            task.status.trace_keys.append(key)
-            task.status.bytes_captured += session.bytes_captured
-            task.status.sessions_completed += 1
-            uploads.append((pod, key, len(raw), label, salvaged, dropped))
-        if injector is not None and report.buffers_exhausted:
-            report.buffer_bytes_rejected = int(
-                sum(
-                    max(0.0, s.bytes_offered - s.bytes_accepted)
-                    for _, _, session, _, _ in completed
-                    for s in session.segments
-                )
-            )
-
-        # decode off-node: raw bytes from OSS + the binary from the
-        # repository (never reaching into the worker's memory).  Workers
-        # regenerate the binary from the fork-inherited workload cache, so
-        # the fan-out only ships (app, cr3s, raw bytes); it requires the
-        # repository binary to be the memoized one (always true for
-        # deploy(), not necessarily for hand-registered binaries).
-        fan_out = (
+        ring = ShardRing(n_shards)
+        task.status.shards = ring.n_shards
+        window = plan.period_ns + settle_ms * MSEC
+        pods_by_uid = {pod.uid: pod for pod in deployment.pods}
+        binary = self.binary_repository.fetch(task.spec.app)
+        if (
             pool is not None
             and pool.parallel
-            and binary is get_workload(app).binary()
-        )
-        use_cache = self.decode_cache is not None
-        payloads = [
-            (app, cr3s, self.object_store.get(key), use_cache)
-            for _, key, _, _, _, _ in uploads
-        ]
-        if fan_out:
-            assert pool is not None
-            stats = [
-                _session_stats(DecodedTrace.from_shipped(shipped))
-                for shipped in pool.map(_decode_session, payloads)
-            ]
-        else:
-            stats = [
-                _session_stats(decoder.decode(payload[2], resilient=True))
-                for payload in payloads
-            ]
+            and binary is get_workload(task.spec.app).binary()
+        ):
+            pool.broadcast(_warm_worker_binary, (task.spec.app,))
 
-        for (pod, _key, raw_len, label, salvaged, dropped), (
-            n_records,
-            n_functions,
-            resyncs,
-            skipped,
-        ) in zip(uploads, stats):
-            report.decode_resyncs += resyncs
-            report.bytes_dropped += skipped
-            degraded_row = bool(salvaged or dropped or skipped)
+        # (2+3) trace in rounds of node-disjoint slots: the initial
+        # selection, then refill rounds with RCO-resampled replacements
+        # on fresh nodes.  Crash retries happen *inside* a slot.
+        outcomes: List[SlotOutcome] = []
+        slot_counter = 0
+        pending_rows = slot_rows
+        round_index = 0
+        while len(pending_rows) and round_index < policy.max_waves:
+            task.status.phase = TaskPhase.TRACING
+            initial_backoff_ns = sum(
+                policy.backoff_ns(wave) for wave in range(1, round_index + 1)
+            )
+            round_tasks: List[SlotTask] = []
+            previews: List[Tuple[str, str, str]] = []
+            for row in pending_rows:
+                pod = pods_by_uid[str(fleet.uids[row])]
+                previews.append((
+                    pod.node_name,
+                    pod.uid,
+                    f"{pod.node_name}/{pod.app}#w{round_index}",
+                ))
+            assignments: dict = {}
+            if injector is not None:
+                assignments = injector.assign_timed(previews, window)
+            for row, (node_name, pod_uid, _label) in zip(
+                pending_rows, previews
+            ):
+                round_tasks.append(SlotTask(
+                    slot=slot_counter,
+                    app=task.spec.app,
+                    pod_uid=pod_uid,
+                    node_name=node_name,
+                    reason=task.spec.reason,
+                    requester=task.spec.requester,
+                    period_ns=plan.period_ns,
+                    window_ns=window,
+                    start_wave=round_index,
+                    initial_backoff_ns=initial_backoff_ns,
+                    assignments=tuple(assignments.get(node_name, ())),
+                ))
+                slot_counter += 1
+            fleet.mark_tracing(pending_rows)
+
+            round_outcomes = self._dispatch_round(
+                round_tasks, pods_by_uid, ring, pool, policy, faults,
+                injector, binary,
+            )
+            # index-ordered merge: scratch reports fold in slot order, so
+            # the merged accounting is independent of shard layout
+            failure_codes: List[int] = []
+            for outcome in round_outcomes:
+                row = fleet.row_of(outcome.pod_uid)
+                if outcome.achieved:
+                    phase = fleet_codes.ACHIEVED
+                elif outcome.salvaged:
+                    phase = fleet_codes.SALVAGED
+                elif outcome.attempts and outcome.node_failures:
+                    phase = fleet_codes.ABANDONED
+                else:
+                    phase = fleet_codes.START_FAILED
+                fleet.resolve(row, phase, outcome.attempts)
+                failure_codes.extend(
+                    [fleet.node_code(outcome.node_name)] * outcome.node_failures
+                )
+                scratch = outcome.report
+                report.nodes_crashed += scratch.nodes_crashed
+                report.nodes_restarted += scratch.nodes_restarted
+                report.pods_killed += scratch.pods_killed
+                report.buffers_exhausted += scratch.buffers_exhausted
+                report.bytes_dropped += scratch.bytes_dropped
+                report.sched_records_dropped += scratch.sched_records_dropped
+                report.sched_records_delayed += scratch.sched_records_delayed
+                report.sessions_degraded += scratch.sessions_degraded
+                report.sessions_abandoned += scratch.sessions_abandoned
+                report.events.extend(scratch.events)
+            fleet.register_node_failures(
+                failure_codes, policy.quarantine_threshold
+            )
+            outcomes.extend(round_outcomes)
+
+            round_index += 1
+            need = coverage_requested - fleet.achieved()
+            if need <= 0 or round_index >= policy.max_waves:
+                break
+            # RCO resamples replacement replicas (§3.4) on fresh nodes,
+            # avoiding pods already tried, quarantined nodes, and nodes
+            # this task already traced (slots stay node-disjoint)
+            replacements = self.rco.spatial.resample(
+                repetitions, need, exclude=fleet.exclude_uids()
+            )
+            pending_rows = fleet.dedupe_first_per_node(
+                fleet.rows_of([r.pod_uid for r in replacements])
+            )
+            fleet.mark_selected(pending_rows)
+            if len(pending_rows):
+                report.note(
+                    f"wave {round_index}: retrying"
+                    f" {len(pending_rows)} replacements"
+                )
+
+        report.retry_waves = max(
+            (o.start_wave + o.attempts - 1 for o in outcomes), default=0
+        )
+
+        # (4) upload raw traces (already mangled slot-side, so every
+        # decode path saw the same bytes) and persist structured rows
+        task.status.phase = TaskPhase.DECODING
+        completed = [outcome for outcome in outcomes if outcome.completed]
+        pod_coverage: Dict[str, Dict[str, list]] = {}
+        for outcome in completed:
+            key = f"traces/{task.name}/{outcome.pod_uid}"
+            self.object_store.put(key, outcome.raw)
+            task.status.trace_keys.append(key)
+            task.status.bytes_captured += outcome.bytes_captured
+            task.status.sessions_completed += 1
+            report.decode_resyncs += outcome.resyncs
+            report.bytes_dropped += outcome.bytes_skipped
+            degraded_row = bool(
+                outcome.salvaged or outcome.dropped or outcome.bytes_skipped
+            )
             if degraded_row:
-                report.records_recovered += n_records
-                if not salvaged:
+                report.records_recovered += outcome.records
+                if not outcome.salvaged:
                     report.sessions_degraded += 1
-                    report.note(f"recovered {n_records} records from {label}")
+                    report.note(
+                        f"recovered {outcome.records} records"
+                        f" from {outcome.label}"
+                    )
+            if outcome.coverage:
+                pod_coverage[outcome.pod_uid] = outcome.coverage
             self.structured_store.insert(
                 "traces",
                 [
                     {
                         "task": task.name,
-                        "app": pod.app,
-                        "pod": pod.uid,
-                        "node": pod.node_name,
-                        "records": n_records,
-                        "functions": n_functions,
-                        "bytes": raw_len,
+                        "app": outcome.app,
+                        "pod": outcome.pod_uid,
+                        "node": outcome.node_name,
+                        "records": outcome.records,
+                        "functions": outcome.functions,
+                        "bytes": len(outcome.raw),
                         "period_ns": plan.period_ns,
                         "degraded": degraded_row,
                     }
                 ],
             )
+        self.task_coverage[task.name] = pod_coverage
+        if injector is not None and report.buffers_exhausted:
+            report.buffer_bytes_rejected = int(
+                sum(outcome.rejected_bytes for outcome in completed)
+            )
 
         # (5) honest accounting: coverage + the degradation report
-        metric = CoverageMetric(requested=coverage_requested, achieved=achieved)
-        report.sessions_completed = len(uploads)
+        metric = CoverageMetric(
+            requested=coverage_requested, achieved=fleet.achieved()
+        )
+        report.sessions_completed = len(completed)
         report.coverage_requested = metric.requested
         report.coverage_achieved = metric.achieved
-        report.quarantined_nodes = sorted(quarantined)
+        report.quarantined_nodes = fleet.quarantined_nodes()
         task.status.coverage_requested = metric.requested
         task.status.coverage_achieved = metric.achieved
         task.status.degradation = report
@@ -530,23 +879,39 @@ class ClusterMaster:
 
     # -- management accounting (Fig 17) -----------------------------------------------
 
-    def decode_cache_stats(self) -> Optional[Dict[str, object]]:
-        """Decode-cache counters, or ``None`` when caching is disabled.
+    def decode_cache_stats(self) -> Dict[str, object]:
+        """Decode-cache counters (all-zero when caching is disabled).
 
         Pool fan-out caveat: forked workers warm their own (inherited)
         cache copies, so only decodes run in this process move these
         counters.
         """
         if self.decode_cache is None:
-            return None
+            return {
+                "entries": 0,
+                "current_bytes": 0,
+                "max_bytes": 0,
+                "hits": 0,
+                "misses": 0,
+                "hit_rate": 0.0,
+                "evictions": 0,
+                "insertions": 0,
+                "bytes_saved": 0,
+                "bytes_decoded": 0,
+                "fallbacks": 0,
+            }
         return self.decode_cache.stats()
 
     def management_footprint(self) -> ManagementFootprint:
         """Current RCO management-pod resource usage."""
+        n_pods = sum(len(d.pods) for d in self.deployments.values())
         return ManagementFootprint(
-            cpu_cores=self.MGMT_CPU_PER_TASK * max(1, self._active_tasks),
+            cpu_cores=self.MGMT_CPU_PER_TASK * max(1, self._active_tasks)
+            + self.MGMT_CPU_PER_NODE * len(self.nodes),
             memory_bytes=self.MGMT_BASE_MEMORY
-            + self.MGMT_MEMORY_PER_TASK * len(self.tasks),
+            + self.MGMT_MEMORY_PER_TASK * len(self.tasks)
+            + self.MGMT_MEMORY_PER_NODE * len(self.nodes)
+            + self.MGMT_MEMORY_PER_POD * n_pods,
         )
 
     def sessions_for(self, task: TraceTask) -> List[Dict]:

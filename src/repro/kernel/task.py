@@ -104,14 +104,22 @@ class Process:
         cpuset: Optional[Sequence[int]] = None,
         weight: int = 1024,
         name: Optional[str] = None,
+        tid: Optional[int] = None,
     ) -> "Thread":
-        """Create a thread of this process with the given engine."""
+        """Create a thread of this process with the given engine.
+
+        ``tid`` pins the thread id instead of drawing the global counter —
+        used when a cluster node is rebuilt from a placement spec in a
+        pool worker, so the rebuilt threads (and hence trace bytes) match
+        the originals byte for byte.
+        """
         thread = Thread(
             process=self,
             engine=engine,
             cpuset=tuple(cpuset) if cpuset is not None else None,
             weight=weight,
             name=name or f"{self.name}/{len(self.threads)}",
+            tid=tid,
         )
         self.threads.append(thread)
         return thread
@@ -131,8 +139,9 @@ class Thread:
         cpuset: Optional[Tuple[int, ...]] = None,
         weight: int = 1024,
         name: str = "",
+        tid: Optional[int] = None,
     ):
-        self.tid: int = next(_tid_counter)
+        self.tid: int = tid if tid is not None else next(_tid_counter)
         self.process = process
         self.engine = engine
         #: allowed logical core ids (None = all cores)

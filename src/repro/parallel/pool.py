@@ -126,6 +126,17 @@ class RunPool:
             fn, items, chunksize=self.chunksize, width=self.max_workers
         )
 
+    def broadcast(self, fn: Callable[[], object], args: tuple = ()) -> List:
+        """Run ``fn(*args)`` once in each worker this pool dispatches to.
+
+        Used for warmups that must land in *worker* processes (e.g.
+        regenerating a memoized binary so a later fan-out finds it hot).
+        In-process pools just call ``fn`` once, preserving semantics.
+        """
+        if self._pool is None or self._pool.closed:
+            return [fn(*args)]
+        return self._pool.broadcast(fn, args, width=self.max_workers)
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

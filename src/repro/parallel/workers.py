@@ -43,7 +43,7 @@ import multiprocessing
 import os
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -371,10 +371,18 @@ class WorkerPool:
                 raise failure
             return results  # type: ignore[return-value]
 
-    def broadcast(self, fn: Callable, args: tuple = ()) -> List:
-        """Run ``fn(*args)`` once in every worker (warmups, config)."""
+    def broadcast(
+        self, fn: Callable, args: tuple = (), width: Optional[int] = None
+    ) -> List:
+        """Run ``fn(*args)`` once in every worker (warmups, config).
+
+        ``width`` restricts the broadcast to the first ``width`` workers —
+        the same subset a ``map`` of that width dispatches over, so a
+        narrow facade can warm exactly the workers it will use.
+        """
         with self._lock:
-            return self._broadcast_locked(self._workers, fn, args)
+            workers = self._workers if width is None else self._workers[:width]
+            return self._broadcast_locked(workers, fn, args)
 
     def _broadcast_locked(
         self, workers: List[_Worker], fn: Callable, args: tuple

@@ -161,22 +161,40 @@ class WorkloadProfile:
             phase_offset_instr=offset_fraction * cycle_instr,
         )
 
-    def spawn(self, system, cpuset: Optional[Sequence[int]] = None, seed: int = 0):
+    def spawn(
+        self,
+        system,
+        cpuset: Optional[Sequence[int]] = None,
+        seed: int = 0,
+        pid: Optional[int] = None,
+        tids: Optional[Sequence[int]] = None,
+    ):
         """Create a process with this profile's threads inside ``system``.
 
         ``system`` is a :class:`repro.kernel.system.KernelSystem`; threads
-        are admitted to its scheduler immediately.
+        are admitted to its scheduler immediately.  ``pid``/``tids`` pin
+        the process/thread identities instead of drawing the global
+        counters — a node rebuilt from its placement spec (in a pool
+        worker, or on restart) then produces byte-identical trace output,
+        because the CR3 filter value derives from the pid.
         """
         from repro.kernel.task import Process  # local to avoid import cycles
 
+        kwargs = {} if pid is None else {"pid": pid}
         process = Process(
-            name=self.name, binary=self.binary(), llc_pressure=self.llc_pressure
+            name=self.name,
+            binary=self.binary(),
+            llc_pressure=self.llc_pressure,
+            **kwargs,
         )
         process.profile = self  # type: ignore[attr-defined]
         for index in range(self.n_threads):
             engine = self.make_engine(index, seed=seed)
             thread = process.new_thread(
-                engine, cpuset=cpuset, weight=self.cpu_weight
+                engine,
+                cpuset=cpuset,
+                weight=self.cpu_weight,
+                tid=tids[index] if tids is not None else None,
             )
             system.scheduler.add_thread(thread)
         system.register_process(process)

@@ -265,10 +265,17 @@ class TestClusterSmoke:
         assert stats["hits"] > 0
         assert task.status.sessions_completed == 2
 
-    def test_disabled_cache_reports_none(self):
+    def test_disabled_cache_reports_zeroed_stats(self):
         from repro.cluster import ClusterMaster
 
-        assert ClusterMaster(decode_cache=False).decode_cache_stats() is None
+        stats = ClusterMaster(decode_cache=False).decode_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 0.0
+        # same shape as an enabled cache so consumers need no null branch
+        enabled = ClusterMaster(decode_cache=True).decode_cache_stats()
+        assert set(stats) == set(enabled)
 
     def test_process_cache_is_shared(self):
         assert process_decode_cache() is process_decode_cache()
