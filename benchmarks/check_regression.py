@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -69,8 +70,14 @@ def _single_core(report: dict) -> bool:
     return report.get("env", {}).get("cpu_count") == 1
 
 
-def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
-    """Compare one fresh report against its baseline; returns failures."""
+def check_pair(fresh_path: Path, baseline_path: Path, threshold: float):
+    """Compare one fresh report against its baseline.
+
+    Returns ``(failures, rows)``: the failure list that decides the exit
+    code, and one display row per gated metric — ``(report, metric,
+    baseline, current, ratio, status)`` — feeding both the console log
+    and the markdown step summary.
+    """
     fresh = load_report(fresh_path)
     if not baseline_path.exists():
         # a silently skipped gate reads as "passed" — refuse instead, so a
@@ -81,6 +88,7 @@ def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
         )
     baseline = load_report(baseline_path)
     failures = []
+    rows = []
     include_speedups = not (_single_core(fresh) and _single_core(baseline))
     if not include_speedups and gated_metrics(
         baseline["metrics"], include_speedups=True
@@ -98,6 +106,7 @@ def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
         current = fresh_metrics.get(key)
         if current is None:
             failures.append((key, base, None, "metric disappeared"))
+            rows.append((fresh_path.name, key, base, None, None, "FAIL"))
             print(f"  [FAIL] {key}: present in baseline, missing in fresh report")
             continue
         ratio = current / base
@@ -105,11 +114,52 @@ def check_pair(fresh_path: Path, baseline_path: Path, threshold: float) -> list:
         if ratio < 1.0 - threshold:
             status = "FAIL"
             failures.append((key, base, current, f"{ratio:.2f}x of baseline"))
+        rows.append((fresh_path.name, key, base, current, ratio, status))
         print(
             f"  [{status:>4}] {key}: {current:g} vs baseline {base:g}"
             f" ({ratio:.2f}x)"
         )
-    return failures
+    return failures, rows
+
+
+def render_markdown_summary(rows, failures, threshold: float) -> str:
+    """GitHub-flavored markdown table of every gated metric comparison."""
+    lines = [
+        f"## Benchmark regression gate (threshold −{threshold:.0%})",
+        "",
+        "| Report | Metric | Baseline | Current | Ratio | Status |",
+        "| --- | --- | ---: | ---: | ---: | :---: |",
+    ]
+    for report, key, base, current, ratio, status in rows:
+        if current is None:
+            lines.append(
+                f"| {report} | `{key}` | {base:g} | *missing* | — | ❌ |"
+            )
+            continue
+        mark = "❌" if status == "FAIL" else "✅"
+        lines.append(
+            f"| {report} | `{key}` | {base:g} | {current:g} "
+            f"| {ratio:.2f}x | {mark} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append(
+            f"**REGRESSION: {len(failures)} throughput metric(s) fell more "
+            f"than {threshold:.0%} below baseline.**"
+        )
+    else:
+        lines.append("**All throughput metrics within budget.**")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_step_summary(markdown: str) -> None:
+    """Append to ``$GITHUB_STEP_SUMMARY`` when running under Actions."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    with open(summary_path, "a", encoding="utf-8") as handle:
+        handle.write(markdown)
 
 
 def main(argv=None) -> int:
@@ -134,13 +184,17 @@ def main(argv=None) -> int:
 
     baseline_dir = Path(args.baseline_dir)
     all_failures = []
+    all_rows = []
     for report in args.reports:
         fresh_path = Path(report)
         baseline_path = baseline_dir / fresh_path.name
         print(f"{fresh_path.name} (threshold: -{args.threshold:.0%}):")
-        all_failures.extend(
-            check_pair(fresh_path, baseline_path, args.threshold)
-        )
+        failures, rows = check_pair(fresh_path, baseline_path, args.threshold)
+        all_failures.extend(failures)
+        all_rows.extend(rows)
+    write_step_summary(
+        render_markdown_summary(all_rows, all_failures, args.threshold)
+    )
     if all_failures:
         print(
             f"\nREGRESSION: {len(all_failures)} throughput metric(s) fell "

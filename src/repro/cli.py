@@ -149,6 +149,22 @@ def _cache_stats_line(stats) -> str:
     return line
 
 
+def _stream_stats_line(stream: dict) -> str:
+    """One-line streaming-ingest summary for CLI output."""
+    line = (
+        f"streaming: {stream['chunks']} chunks / {stream['uploads']} uploads, "
+        f"p99 lag {fmt_time(stream['p99_lag_ns'])}, "
+        f"depth<= {stream['max_queue_depth']}, "
+        f"{stream['backpressure_engagements']} backpressure engagements"
+    )
+    if stream["dead_letters"]:
+        line += (
+            f", {stream['dead_letters']} dead-lettered"
+            f" ({stream['dead_letters_replayed']} replayed)"
+        )
+    return line
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterMaster, TraceTaskSpec
     from repro.core.config import TraceReason
@@ -175,9 +191,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         from repro.parallel import RunPool
 
         with RunPool(max_workers=args.jobs) as pool:
-            master.reconcile(task, pool=pool, faults=plan)
+            master.reconcile(
+                task, pool=pool, faults=plan, streaming=args.streaming
+            )
     else:
-        master.reconcile(task, faults=plan)
+        master.reconcile(task, faults=plan, streaming=args.streaming)
     print(f"task {task.name}: {task.status.phase.value}")
     print(f"  control shards:     {task.status.shards}")
     print(f"  repetitions traced: {task.status.sessions_completed}/{args.replicas}")
@@ -198,6 +216,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             handle.write(report.to_json())
             handle.write("\n")
         print(f"degradation report written to {args.degradation_json}")
+    stream = task.status.stream
+    if stream is not None:
+        print(_stream_stats_line(stream))
     # decode_cache_stats() is all-zero (never None) when caching is off
     print(_cache_stats_line(master.decode_cache_stats()))
     footprint = master.management_footprint()
@@ -220,6 +241,7 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         decode_cache=args.decode_cache,
+        streaming=args.streaming,
     )
     phases = ", ".join(
         f"{phase}={count}" for phase, count in sorted(sweep["phases"].items())
@@ -393,6 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
         help="repetition-aware decode cache for the reconcile decode",
     )
+    cluster.add_argument(
+        "--streaming", action="store_true",
+        help="decode through the online streaming-ingest pipeline "
+             "(bounded queue, backpressure, dead-letter quarantine); "
+             "end state is byte-identical to batch decode",
+    )
 
     chaos = sub.add_parser(
         "chaos-sweep",
@@ -415,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--decode-cache", action=argparse.BooleanOptionalAction, default=True,
         help="repetition-aware decode cache shared across the sweep's runs",
+    )
+    chaos.add_argument(
+        "--streaming", action="store_true",
+        help="reconcile every seeded run through the streaming-ingest "
+             "pipeline (results identical to batch decode)",
     )
     profile = sub.add_parser(
         "profile",

@@ -99,6 +99,9 @@ class TraceTaskStatus:
     #: loss accounting attached by the controller (always set after a
     #: reconcile reaches the tracing stage, even fault-free)
     degradation: Optional[DegradationReport] = None
+    #: streaming-ingest accounting (set only by ``--streaming``
+    #: reconciles; virtual-time figures, identical across jobs widths)
+    stream: Optional[Dict] = None
 
 
 @dataclass

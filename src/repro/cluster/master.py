@@ -48,6 +48,7 @@ from repro.hwtrace.decoder import DecodedTrace, SoftwareDecoder, encode_trace
 from repro.kernel.system import SystemConfig
 from repro.parallel.pool import RunPool
 from repro.program.workloads import WorkloadProfile, get_workload
+from repro.streaming import StreamConfig, StreamingIngestor
 from repro.util.units import MIB, MSEC
 
 
@@ -329,8 +330,10 @@ def _run_shard(payload) -> List[SlotOutcome]:
     produces byte-identical trace output to the coordinator's pristine
     original), runs the slot loop, and decodes in-worker against the
     fork-inherited binary cache.  Ships back compact outcomes only.
+    With ``decode`` False (streaming mode) the raw bytes come back
+    undecoded — the streaming ingestor owns the decode instead.
     """
-    specs, slot_tasks, policy, plan, use_cache = payload
+    specs, slot_tasks, policy, plan, use_cache, decode = payload
     nodes = {spec.name: ClusterNode.from_spec(spec) for spec in specs}
     injector = FaultInjector(plan) if plan is not None else None
     outcomes = []
@@ -338,7 +341,7 @@ def _run_shard(payload) -> List[SlotOutcome]:
         node = nodes[slot_task.node_name]
         pod = next(p for p in node.pods if p.uid == slot_task.pod_uid)
         outcome = _run_slot(node, pod, slot_task, policy, injector)
-        if outcome.completed:
+        if outcome.completed and decode:
             decoder = _worker_decoder(slot_task.app, use_cache)
             decoder.add_binary(outcome.cr3, get_workload(slot_task.app).binary())
             decoded = decoder.decode(outcome.raw, resilient=True)
@@ -563,6 +566,7 @@ class ClusterMaster:
         faults: Optional[FaultPlan],
         injector: Optional[FaultInjector],
         binary,
+        decode: bool = True,
     ) -> List[SlotOutcome]:
         """Run one round's slots — sharded over the pool when possible.
 
@@ -571,7 +575,8 @@ class ClusterMaster:
         object) and the repository binary to be the memoized one (workers
         regenerate it from the fork-inherited cache).  Anything else runs
         the identical slot loop in-process on the live nodes, so both
-        paths produce the same outcomes.
+        paths produce the same outcomes.  ``decode`` False defers decode
+        to the streaming ingestor: outcomes carry raw bytes, stats zero.
         """
         app = slot_tasks[0].app
         use_cache = self.decode_cache is not None
@@ -596,7 +601,9 @@ class ClusterMaster:
                         st.node_name for st in shard_slots
                     )
                 )
-                payloads.append((specs, shard_slots, policy, faults, use_cache))
+                payloads.append(
+                    (specs, shard_slots, policy, faults, use_cache, decode)
+                )
             outcomes = [
                 outcome
                 for shard in pool.map(_run_shard, payloads)
@@ -610,7 +617,7 @@ class ClusterMaster:
                 node = self.nodes[slot_task.node_name]
                 pod = pods_by_uid[slot_task.pod_uid]
                 outcome = _run_slot(node, pod, slot_task, policy, injector)
-                if outcome.completed:
+                if outcome.completed and decode:
                     decoder = self._decoder_for(app, binary, (outcome.cr3,))
                     decoded = decoder.decode(outcome.raw, resilient=True)
                     (
@@ -630,6 +637,7 @@ class ClusterMaster:
         pool: Optional[RunPool] = None,
         faults: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        streaming=None,
     ) -> TraceTask:
         """Run the full reconciliation loop for one task.
 
@@ -640,6 +648,15 @@ class ClusterMaster:
         failing — retrying in waves per ``retry_policy``, resampling
         replacement replicas, salvaging partial windows, and attaching a
         :class:`DegradationReport` with the honest loss accounting.
+
+        ``streaming`` switches decode from the batch wave path to the
+        online ingestion pipeline (``True`` for defaults, or a
+        :class:`~repro.streaming.StreamConfig`): completed slots feed
+        their uploads through the bounded backpressured queue as rounds
+        finish, corrupt uploads quarantine and replay, and the ingest
+        accounting lands on ``task.status.stream``.  Coverage,
+        degradation, and decode-loss end state is byte-identical to the
+        batch path and across ``--jobs`` widths.
         """
         policy = retry_policy or RetryPolicy()
         deployment = self.deployments.get(task.spec.app)
@@ -706,6 +723,29 @@ class ClusterMaster:
         ):
             pool.broadcast(_warm_worker_binary, (task.spec.app,))
 
+        ingestor: Optional[StreamingIngestor] = None
+        if streaming:
+            config = streaming if isinstance(streaming, StreamConfig) else None
+            # consumer fan-out needs workers to regenerate the binary
+            # from the fork-inherited workload cache, same as shard
+            # dispatch; otherwise consumers run in-process
+            stream_pool = (
+                pool
+                if (
+                    pool is not None
+                    and pool.parallel
+                    and binary is get_workload(task.spec.app).binary()
+                )
+                else None
+            )
+            ingestor = StreamingIngestor(
+                app=task.spec.app,
+                binary=binary,
+                decode_cache=self.decode_cache,
+                pool=stream_pool,
+                config=config,
+            )
+
         # (2+3) trace in rounds of node-disjoint slots: the initial
         # selection, then refill rounds with RCO-resampled replacements
         # on fresh nodes.  Crash retries happen *inside* a slot.
@@ -751,8 +791,15 @@ class ClusterMaster:
 
             round_outcomes = self._dispatch_round(
                 round_tasks, pods_by_uid, ring, pool, policy, faults,
-                injector, binary,
+                injector, binary, decode=ingestor is None,
             )
+            if ingestor is not None:
+                # online ingestion: completed uploads enter the
+                # streaming pipeline as their round finishes, in slot
+                # order (round_outcomes is slot-sorted)
+                for outcome in round_outcomes:
+                    if outcome.completed:
+                        ingestor.submit(outcome)
             # index-ordered merge: scratch reports fold in slot order, so
             # the merged accounting is independent of shard layout
             failure_codes: List[int] = []
@@ -813,6 +860,12 @@ class ClusterMaster:
         # (4) upload raw traces (already mangled slot-side, so every
         # decode path saw the same bytes) and persist structured rows
         task.status.phase = TaskPhase.DECODING
+        if ingestor is not None:
+            # drain the pipeline: flush consumer batches, replay the
+            # dead-letter quarantine, and write each outcome's session
+            # stats in place — the accounting loop below then runs
+            # unchanged, so the end state matches batch byte for byte
+            task.status.stream = ingestor.finish().to_dict()
         completed = [outcome for outcome in outcomes if outcome.completed]
         pod_coverage: Dict[str, Dict[str, list]] = {}
         for outcome in completed:

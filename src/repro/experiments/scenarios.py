@@ -258,6 +258,7 @@ def run_chaos_scenario(
     retry_policy=None,
     reset_identities: bool = True,
     decode_cache=True,
+    streaming=None,
 ) -> Dict:
     """One seeded chaos reconcile on a fresh cluster; returns plain data.
 
@@ -275,6 +276,12 @@ def run_chaos_scenario(
     repetition-aware decode cache.  Cache counters stay out of the
     returned dict — cached and uncached decodes are byte-identical, so
     the dict remains comparable across cache settings and ``jobs``.
+
+    ``streaming`` (``True`` or a :class:`~repro.streaming.StreamConfig`)
+    reconciles through the online ingestion pipeline instead of batch
+    decode.  Like cache counters, the streaming-ingest accounting stays
+    out of the returned dict: streaming and batch runs must compare
+    equal, which is exactly the parity the tests assert.
     """
     from repro.cluster.crd import TraceTaskSpec
     from repro.cluster.master import ClusterMaster, RetryPolicy
@@ -296,7 +303,8 @@ def run_chaos_scenario(
 
     def _reconcile(run_pool):
         master.reconcile(
-            task, pool=run_pool, faults=plan or None, retry_policy=policy
+            task, pool=run_pool, faults=plan or None, retry_policy=policy,
+            streaming=streaming,
         )
 
     if pool is not None:
@@ -333,6 +341,7 @@ def chaos_sweep(
     seed: int = 11,
     jobs: int = 1,
     decode_cache=True,
+    streaming=None,
 ) -> Dict:
     """Run the chaos scenario across fault seeds; aggregate the damage.
 
@@ -351,6 +360,7 @@ def chaos_sweep(
             seed=seed,
             jobs=jobs,
             decode_cache=decode_cache,
+            streaming=streaming,
         )
         for fault_seed in fault_seeds
     ]

@@ -84,6 +84,55 @@ _EMPTY_ENTRY = ChunkEntry(
 )
 
 
+def _valid_record_words(words: np.ndarray) -> bool:
+    """True when every uint64 record word has canonical TNT/TIP framing.
+
+    Word layout (little-endian): byte0 = TNT (even, >= 4), byte1 = TIP
+    header, bytes 2..7 = 48-bit address in the word's high bits.
+    """
+    if words.size == 0:
+        return True
+    return bool(
+        (
+            ((words & 0x01) == 0)
+            & ((words & 0xFF) >= 4)
+            & ((words & 0xFF00) == _TIP_HEADER_BYTE << 8)
+        ).all()
+    )
+
+
+def split_canonical_stream(data: bytes) -> Optional[List[Tuple[int, bytes]]]:
+    """Split a canonical upload into per-chunk ``(cr3, body)`` work units.
+
+    Returns one entry per PSB chunk of a fully canonical stream — the
+    body is everything after the 32-byte ``PSB TSC PIP`` header with any
+    trailing OVF stripped, ready for
+    :meth:`SoftwareDecoder.decode_chunk` — or ``None`` when the upload is
+    empty, is not a pure canonical chunk sequence, or any event record is
+    malformed.  ``None`` signals that the bytes need the full resilient
+    scan (or a dead-letter quarantine) instead of incremental decode.
+    """
+    if not data:
+        return None
+    buf = np.frombuffer(data, dtype=np.uint8)
+    plan = plan_chunks(data, buf, PSB_BYTES)
+    if plan is None or not plan.all_canonical:
+        return None
+    starts = plan.starts.tolist()
+    ends = plan.ends.tolist()
+    tails = plan.tail_ovf.tolist()
+    bodies = [
+        data[start + CHUNK_HEADER_BYTES : end - (2 if tail else 0)]
+        for start, end, tail in zip(starts, ends, tails)
+    ]
+    records = np.frombuffer(b"".join(bodies), dtype=np.uint8)
+    if records.size % 8:
+        return None
+    if not _valid_record_words(records.reshape(-1, 8).view("<u8").ravel()):
+        return None
+    return list(zip(plan.cr3s.tolist(), bodies))
+
+
 def encode_trace(segments: Sequence[TraceSegment]) -> bytes:
     """Serialize captured segments into one packet stream.
 
@@ -398,6 +447,40 @@ class SoftwareDecoder:
 
     # -- canonical whole-stream fast path -----------------------------------
 
+    def decode_chunk(self, cr3: int, body: bytes) -> ChunkEntry:
+        """Decode one canonical chunk *body* against ``cr3``'s binary.
+
+        The streaming-ingest unit of work: ``body`` is everything after a
+        chunk's 32-byte ``PSB TSC PIP`` header (trailing OVF stripped),
+        exactly as produced by :func:`split_canonical_stream`.  Returns
+        the context-free :class:`ChunkEntry` (resolved block/function ids
+        plus the unresolved count) — identical to what the whole-stream
+        canonical path computes for the same bytes, and served from the
+        attached :class:`DecodeCache` when one is present.  The caller is
+        responsible for having validated the body's record framing.
+        """
+        if not body:
+            return _EMPTY_ENTRY
+        key = (self._fingerprints.get(cr3, UNKNOWN_BINARY_FP), body)
+        cache = self.cache
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        records = np.frombuffer(body, dtype=np.uint8).reshape(-1, 8)
+        addresses = _le6(records[:, 2:8]).astype(np.int64)
+        blocks, functions = self._resolve_addresses(cr3, addresses)
+        keep = blocks >= 0
+        entry = ChunkEntry(
+            block_ids=blocks[keep].copy(),
+            function_ids=functions[keep].copy(),
+            unresolved=int(blocks.size - np.count_nonzero(keep)),
+            n_records=int(blocks.size),
+        )
+        if cache is not None:
+            cache.put(key, entry)
+        return entry
+
     def _canonical_records(
         self, data: bytes, plan
     ) -> Optional[Tuple[List[bytes], np.ndarray, np.ndarray]]:
@@ -423,14 +506,8 @@ class SoftwareDecoder:
         if records.size % 8:
             return None
         records = records.reshape(-1, 8)
-        # word layout (little-endian): byte0 = TNT, byte1 = TIP header,
-        # bytes 2..7 = 48-bit address in the word's high bits
         words = records.view("<u8").ravel()
-        if words.size and not (
-            ((words & 0x01) == 0)
-            & ((words & 0xFF) >= 4)
-            & ((words & 0xFF00) == _TIP_HEADER_BYTE << 8)
-        ).all():
+        if not _valid_record_words(words):
             return None
         return bodies, records, words
 

@@ -1,0 +1,76 @@
+"""Credit-based producer throttling with watermark hysteresis.
+
+Producers hold one credit per enqueued-but-undecoded chunk; when the
+bounded queue is full they stop until the oldest in-flight decode
+completes (a hard wait in virtual time).  Before that point, watermark
+hysteresis paces them: crossing ``high_watermark`` engages backpressure
+(each subsequent enqueue is delayed by ``stall_ns``), which disengages
+only once the queue drains to ``low_watermark`` — the gap prevents
+engage/disengage flapping around a single threshold.  Everything is
+integer virtual time, so throttling decisions are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.queue import VirtualDecodeQueue
+
+
+class CreditController:
+    """Paces one producer against a :class:`VirtualDecodeQueue`."""
+
+    def __init__(
+        self,
+        capacity: int,
+        high_watermark: int,
+        low_watermark: int,
+        stall_ns: int,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not (0 <= low_watermark < high_watermark <= capacity):
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= capacity, got "
+                f"low={low_watermark} high={high_watermark} capacity={capacity}"
+            )
+        if stall_ns < 0:
+            raise ValueError(f"stall_ns must be non-negative, got {stall_ns}")
+        self.capacity = capacity
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.stall_ns = stall_ns
+        #: True while backpressure is engaged (between the watermarks)
+        self.engaged = False
+        #: distinct low->high watermark crossings
+        self.engagements = 0
+        #: enqueues that hit the hard credit limit (queue full)
+        self.credit_waits = 0
+        #: total virtual time producers spent throttled (stalls + waits)
+        self.throttled_ns = 0
+
+    def pace(self, queue: VirtualDecodeQueue, arrival_ns: int) -> int:
+        """Admission-control one enqueue; returns the paced arrival time.
+
+        Applies, in order: the hard credit limit (wait for a completion
+        when the queue is full), then watermark hysteresis (engage /
+        disengage), then the engaged-state stall.
+        """
+        queue.drain_until(arrival_ns)
+        if queue.depth() >= self.capacity:
+            self.credit_waits += 1
+            while queue.depth() >= self.capacity:
+                waited_until = queue.oldest_completion()
+                self.throttled_ns += waited_until - arrival_ns
+                arrival_ns = waited_until
+                queue.drain_until(arrival_ns)
+        depth = queue.depth()
+        if self.engaged:
+            if depth <= self.low_watermark:
+                self.engaged = False
+        elif depth >= self.high_watermark:
+            self.engaged = True
+            self.engagements += 1
+        if self.engaged and self.stall_ns:
+            arrival_ns += self.stall_ns
+            self.throttled_ns += self.stall_ns
+            queue.drain_until(arrival_ns)
+        return arrival_ns

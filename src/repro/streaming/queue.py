@@ -1,0 +1,74 @@
+"""Bounded decode queue simulated in virtual time.
+
+The queue models ``consumers`` identical decode workers draining a FIFO
+of chunk-decode jobs.  All arithmetic is integer virtual nanoseconds —
+no wall clock anywhere — so queue depth, per-chunk lag, and makespan are
+pure functions of the admission sequence and therefore identical across
+``--jobs`` widths and across repeated runs.  The *real* decode work is
+dispatched separately (batched over the persistent worker pool); this
+simulation is what gives the streaming pipeline deterministic lag and
+occupancy figures to throttle against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+
+class VirtualDecodeQueue:
+    """c-server FIFO queueing simulation over integer virtual time.
+
+    ``admit`` assigns each job the earliest-free consumer at or after its
+    arrival; in-flight jobs (admitted, completion time still in the
+    future) define the queue depth the backpressure controller reads.
+    """
+
+    def __init__(self, consumers: int):
+        if consumers < 1:
+            raise ValueError(f"need at least one consumer, got {consumers}")
+        self.consumers = consumers
+        #: per-consumer next-free virtual times (min-heap)
+        self._free: List[int] = [0] * consumers
+        #: completion times of admitted-but-unfinished jobs (min-heap)
+        self._in_flight: List[int] = []
+        #: highwater of the in-flight count ever observed
+        self.max_depth = 0
+        #: completion time of the last job admitted (virtual makespan)
+        self.makespan_ns = 0
+        self.admitted = 0
+
+    def drain_until(self, now: int) -> None:
+        """Retire every in-flight job whose completion is at or before ``now``."""
+        in_flight = self._in_flight
+        while in_flight and in_flight[0] <= now:
+            heapq.heappop(in_flight)
+
+    def depth(self) -> int:
+        """In-flight jobs (drain first for the depth at a given instant)."""
+        return len(self._in_flight)
+
+    def oldest_completion(self) -> int:
+        """Virtual time at which the next in-flight job finishes."""
+        return self._in_flight[0]
+
+    def admit(self, arrival_ns: int, service_ns: int) -> Tuple[int, int]:
+        """Admit one job; returns its ``(start_ns, completion_ns)``.
+
+        The job starts on the earliest-free consumer, no sooner than its
+        arrival; ``start_ns - arrival_ns`` is the queue lag the pipeline
+        records per chunk.
+        """
+        start = heapq.heappop(self._free)
+        if start < arrival_ns:
+            start = arrival_ns
+        completion = start + service_ns
+        heapq.heappush(self._free, completion)
+        heapq.heappush(self._in_flight, completion)
+        self.admitted += 1
+        depth = len(self._in_flight)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if completion > self.makespan_ns:
+            self.makespan_ns = completion
+        return start, completion

@@ -35,6 +35,7 @@ PROCESS_LIFETIME_STATE = frozenset({
     ("repro.hwtrace.cache", "_PROCESS_CACHE"),
     ("repro.hwtrace.decoder", "_POOL_DECODERS"),
     ("repro.cluster.master", "_WORKER_DECODERS"),
+    ("repro.streaming.pipeline", "_STREAM_DECODERS"),
     ("repro.program.generator", "_BINARY_CACHE"),
     ("repro.program.path", "_PATH_CACHE"),
     # process-role marker: set once by the pool worker initializer so

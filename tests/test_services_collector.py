@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.services.collector import ZipkinCollector
+from repro.services.collector import StreamingCollector, ZipkinCollector
 from repro.services.graph import ServiceGraph
 from repro.services.latency import QueueingSimulator
 from repro.services.loadgen import PoissonArrivals
@@ -96,3 +96,99 @@ class TestEndToEnd:
         # the regressed tier stands out the most
         assert max(ratios, key=lambda s: ratios[s]) == "Search1"
         assert ratios["Search1"] > 1.05
+
+
+class TestStreamingIngest:
+    """Online span ingest: ordering, duplicates, quarantine replay."""
+
+    def test_in_order_uploads_deliver_immediately(self):
+        streaming = StreamingCollector()
+        for sequence in range(3):
+            status = streaming.offer(
+                "agent-a", sequence, make_trace(sequence, [("a", 0, 10)])
+            )
+            assert status == "delivered"
+        assert len(streaming) == 3
+        assert streaming.out_of_order == 0 and streaming.pending == 0
+
+    def test_out_of_order_arrival_reorders_per_source(self):
+        streaming = StreamingCollector()
+        t0 = make_trace(0, [("a", 0, 10)])
+        t1 = make_trace(1, [("a", 10, 20)])
+        t2 = make_trace(2, [("a", 20, 30)])
+        assert streaming.offer("agent-a", 2, t2) == "held"
+        assert streaming.offer("agent-a", 1, t1) == "held"
+        assert streaming.pending == 2 and len(streaming) == 0
+        # the missing predecessor unblocks the whole run, in order
+        assert streaming.offer("agent-a", 0, t0) == "delivered"
+        assert streaming.pending == 0
+        assert [t.request_id for t in streaming.collector.traces] == [0, 1, 2]
+        assert streaming.out_of_order == 2
+
+    def test_sources_reorder_independently(self):
+        streaming = StreamingCollector()
+        assert streaming.offer("b", 1, make_trace(10, [("x", 0, 1)])) == "held"
+        assert streaming.offer("a", 0, make_trace(20, [("x", 0, 1)])) == "delivered"
+        assert streaming.offer("b", 0, make_trace(11, [("x", 0, 1)])) == "delivered"
+        assert [t.request_id for t in streaming.collector.traces] == [20, 11, 10]
+
+    def test_duplicate_uploads_dropped_and_counted(self):
+        streaming = StreamingCollector()
+        trace = make_trace(1, [("a", 0, 10)])
+        assert streaming.offer("agent-a", 0, trace) == "delivered"
+        assert streaming.offer("agent-a", 0, trace) == "duplicate"
+        # a held sequence is also protected against re-upload
+        early = make_trace(2, [("a", 0, 10)])
+        assert streaming.offer("agent-a", 5, early) == "held"
+        assert streaming.offer("agent-a", 5, early) == "duplicate"
+        assert streaming.duplicates == 2
+        assert len(streaming) == 1
+
+    def test_malformed_trace_quarantined_without_consuming_slot(self):
+        streaming = StreamingCollector()
+        bad = make_trace(1, [("a", 100, 50)])  # ends before it starts
+        assert streaming.offer("agent-a", 0, bad) == "quarantined"
+        assert len(streaming.dead_letters) == 1
+        # successors wait on the quarantined slot instead of skipping it
+        assert streaming.offer("agent-a", 1, make_trace(2, [("a", 0, 10)])) == "held"
+        assert len(streaming) == 0
+
+    def test_empty_trace_quarantined(self):
+        streaming = StreamingCollector()
+        assert streaming.offer("agent-a", 0, make_trace(1, [])) == "quarantined"
+        (entry,) = streaming.dead_letters.entries
+        assert "no spans" in entry.reason
+
+    def test_quarantine_replay_roundtrip(self):
+        streaming = StreamingCollector()
+        bad = make_trace(1, [("a", 100, 50)])
+        streaming.offer("agent-a", 0, bad)
+        streaming.offer("agent-a", 1, make_trace(2, [("a", 10, 20)]))
+        streaming.offer("agent-a", 2, make_trace(3, [("a", 20, 30)]))
+        assert len(streaming) == 0 and streaming.pending == 2
+
+        # replay before repair: the entry stays, nothing delivers
+        assert streaming.replay() == 0
+        (entry,) = streaming.dead_letters.entries
+        assert entry.attempts == 1
+
+        # repair the payload in place, replay again: the full run drains
+        bad.spans[0].end_ns = 150
+        assert streaming.replay() == 3
+        assert len(streaming.dead_letters) == 0
+        assert streaming.dead_letters.replayed_total == 1
+        assert [t.request_id for t in streaming.collector.traces] == [1, 2, 3]
+        assert streaming.pending == 0
+
+    def test_streamed_stats_match_batch_collection(self):
+        traces = [
+            make_trace(1, [("a", 0, 100), ("b", 10, 40)]),
+            make_trace(2, [("a", 0, 300), ("b", 10, 50)]),
+        ]
+        batch = ZipkinCollector()
+        batch.collect(traces)
+        streaming = StreamingCollector()
+        # arrive reversed: delivery order (and thus stats) must not care
+        for sequence, trace in ((1, traces[1]), (0, traces[0])):
+            streaming.offer("agent-a", sequence, trace)
+        assert streaming.collector.service_stats() == batch.service_stats()
