@@ -264,6 +264,73 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_services_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.services.workloads import (
+        SCENARIO_PRESETS,
+        SERVICE_WORKLOADS,
+        CampaignSpec,
+        campaign_report_json,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(
+        workload=args.workload,
+        n_requests=args.requests,
+        utilization=args.utilization,
+        seed=args.seed,
+        scenario=args.scenario,
+        inflation=args.inflation,
+        traced_service=args.traced or None,
+        partition_requests=args.partition_requests,
+    )
+    # wall-clock timing of the simulation itself (spans/s is the
+    # engine-throughput headline, not part of the simulated results)
+    t0 = time.perf_counter()
+    report = run_campaign(spec, jobs=args.jobs)
+    elapsed = time.perf_counter() - t0
+
+    workload = SERVICE_WORKLOADS[args.workload]
+    scenario = SCENARIO_PRESETS[args.scenario]
+    print(f"campaign: {spec.n_requests:,} requests of '{workload.name}' "
+          f"({workload.description})")
+    print(f"  scenario:   {scenario.name}  "
+          f"(partitions={report['partitions']}, jobs={args.jobs}, "
+          f"retries={report['retry_requests']})")
+    rows = []
+    for scheme, m in report["schemes"].items():
+        rows.append([
+            scheme,
+            f"{m['throughput_rps']:,.0f}",
+            f"{m['p50_ms']:.3f}",
+            f"{m['p99_ms']:.3f}",
+            f"{m['p999_ms']:.3f}",
+            f"{m['spans']:,}",
+        ])
+    print(format_table(
+        rows,
+        headers=["scheme", "rps", "p50 ms", "p99 ms", "p99.9 ms", "spans"],
+        title="merged campaign results",
+    ))
+    if "degradation" in report:
+        deg = report["degradation"]
+        print(f"degradation from {report['inflation']:.3f}x inflation on "
+              f"'{report['traced_service']}': "
+              + ", ".join(f"{k[:-3]} {v:+.2%}" for k, v in deg.items()))
+    culprit = report["schemes"]["baseline"].get("sampled_culprit")
+    if culprit:
+        print(f"sampled culprit service: {culprit}")
+    spans = report["spans_simulated"]
+    print(f"engine: {spans:,} spans in {elapsed:.2f}s wall = "
+          f"{spans / elapsed:,.0f} spans/s")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(campaign_report_json(report))
+        print(f"campaign report written to {args.json}")
+    return 0
+
+
 def _cmd_staticcheck(args: argparse.Namespace) -> int:
     from repro.staticcheck.main import run as run_staticcheck
 
@@ -449,6 +516,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="reconcile every seeded run through the streaming-ingest "
              "pipeline (results identical to batch decode)",
     )
+    campaign = sub.add_parser(
+        "services-campaign",
+        help="drive a sharded million-RPC campaign through the "
+             "vectorized service engine",
+    )
+    from repro.services.workloads import SCENARIO_PRESETS, SERVICE_WORKLOADS
+
+    campaign.add_argument("--workload", default="ecommerce",
+                          choices=sorted(SERVICE_WORKLOADS))
+    campaign.add_argument("--requests", type=int, default=100_000,
+                          help="total requests across all partitions")
+    campaign.add_argument("--utilization", type=float, default=0.7,
+                          help="bottleneck utilization of the load point")
+    campaign.add_argument("--scenario", default="steady",
+                          choices=sorted(SCENARIO_PRESETS))
+    campaign.add_argument("--inflation", type=float, default=1.0,
+                          help="tracing inflation of the traced scheme "
+                               "(1.0 skips the traced run)")
+    campaign.add_argument("--traced", default="",
+                          help="service to trace (default: the workload's)")
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes the partitions shard over "
+                               "(report is identical for any jobs width)")
+    campaign.add_argument("--partition-requests", type=int, default=8192,
+                          help="requests per fleet-cell partition")
+    campaign.add_argument("--json", default="",
+                          help="write the canonical campaign report JSON")
+
     profile = sub.add_parser(
         "profile",
         help="run any repro command under cProfile and report hotspots",
@@ -478,6 +574,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "cluster": _cmd_cluster,
     "chaos-sweep": _cmd_chaos_sweep,
+    "services-campaign": _cmd_services_campaign,
     "profile": _cmd_profile,
     "staticcheck": _cmd_staticcheck,
 }

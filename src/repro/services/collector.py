@@ -37,6 +37,34 @@ class ServiceStats:
         return self.mean_ns / 1e6
 
 
+def service_stats_from_log(span_log) -> Dict[str, ServiceStats]:
+    """Columnar :class:`ServiceStats` straight from a ``SpanLog``.
+
+    Computes the same statistics as
+    :meth:`ZipkinCollector.service_stats` without materializing a
+    single :class:`~repro.services.rpc.Span` object: the SpanLog's
+    ``service_id``/``self_ns`` columns are grouped with numpy masks.
+    """
+    cols = span_log.columns()
+    names = span_log.programs[0].service_names
+    sids = cols["service_id"]
+    selfs = cols["self_ns"]
+    stats: Dict[str, ServiceStats] = {}
+    for i, name in enumerate(names):
+        values = selfs[sids == i]
+        if len(values) == 0:
+            continue
+        stats[name] = ServiceStats(
+            service=name,
+            span_count=int(len(values)),
+            total_ns=int(values.sum()),
+            mean_ns=float(np.mean(values)),
+            p50_ns=percentile(values.tolist(), 50),
+            p99_ns=percentile(values.tolist(), 99),
+        )
+    return stats
+
+
 class ZipkinCollector:
     """Collects request traces and answers RPC-level questions."""
 

@@ -1,0 +1,553 @@
+"""Vectorized columnar engine for million-RPC service campaigns.
+
+The legacy :meth:`~repro.services.latency.QueueingSimulator._run` engine
+schedules one Python closure per RPC call and allocates a
+:class:`~repro.services.rpc.Span` dataclass per event — tens of
+thousands of spans/s.  This module replaces that hot path with a
+batched, array-based engine that reproduces the legacy discipline
+*exactly* (the legacy path stays available as the reference oracle):
+
+* **Static call programs** — a request's call tree is a pure function
+  of the graph, so it is compiled once (:class:`CallProgram`): DFS
+  preorder slots, per-slot service ids, and precomputed
+  completion-walk offsets.  ``call_no`` in the legacy engine is the
+  submit-order counter, and synchronous sequential RPC makes submit
+  order DFS preorder — the slot index *is* the legacy ``call_no``.
+* **Precomputed lognormal tables** — the legacy engine draws service
+  times as ``max(1, int(math.exp(mu + sigma * normal_table[idx])))``
+  with a 65536-entry common-random-numbers table.  We precompute the
+  exponentiated table per (service, inflation) with the same
+  ``math.exp`` (``np.exp`` can differ by 1 ULP, flipping the ``int``
+  truncation) and gather whole (request, call) matrices in numpy.
+  The CRN contract is preserved bit for bit: two runs differing only
+  in tracing inflation see identical noise indices.
+* **Columnar event loop** — the heap holds one packed integer per
+  *in-flight* call (``time``, submit sequence, and (request, slot)
+  token packed into a single int), not one closure per event.  Worker reservation happens at submit time and queued calls
+  can start *early* at a release (before their network arrival),
+  exactly as the legacy engine does; see :func:`run_vectorized`.
+* **SoA SpanLog** — spans live in int64 ``start/end/self`` columns,
+  with a lazy :meth:`SpanLog.traces` compat view materializing
+  :class:`~repro.services.rpc.RequestTrace` objects only on demand.
+
+Known divergence (documented, not observed on the seeded equivalence
+suite): when two service completions land on the *same nanosecond* at
+the same contended service, the legacy engine breaks the tie by the
+order the completions were *scheduled* (at start fire) while this
+engine breaks it by submit order.  Queue ordering itself is identical
+— both key queued calls by (arrival, submit sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.services.graph import ServiceGraph
+from repro.services.rpc import RequestTrace, Span, span_id_for
+from repro.util.rng import derive_seed
+
+#: multiplicative-hash constants of the common-random-numbers index —
+#: shared verbatim with the legacy closure engine so both engines
+#: sample identical service times for a given (request, service, call)
+TABLE_BITS = 16
+TABLE_MASK = (1 << TABLE_BITS) - 1
+RID_MIX = 2654435761
+SALT_MIX = 97
+CALL_MIX = 7919
+
+
+
+@dataclass(frozen=True)
+class CallProgram:
+    """One request's static call tree, compiled to flat slot tables.
+
+    Slot ``j`` is the j-th call in DFS preorder (== legacy ``call_no``).
+    ``table[j]`` drives the event loop without per-event graph walks::
+
+        (service_id, is_leaf, next_slot, offset_ns, ends, next_service_id)
+
+    For a non-leaf, ``next_slot``/``offset_ns`` are the first child and
+    its network delay (arrival = own-processing end + offset).  For a
+    leaf, they encode the *completion walk*: the next sibling call in
+    DFS order and its arrival offset, or ``-1`` and the response-end
+    offset when the walk closes the root.  ``ends`` (leaves only) lists
+    ``(slot, offset_ns)`` for every span the walk closes — the leaf
+    itself plus each ancestor it returns through as a last child.
+    ``next_service_id`` is ``next_slot``'s service (-1 when none),
+    denormalized so the submit path skips a second table lookup.
+    """
+
+    service_names: Tuple[str, ...]
+    workers: Tuple[int, ...]
+    n_slots: int
+    sid: Tuple[int, ...]
+    parent: Tuple[int, ...]
+    net_in: Tuple[int, ...]
+    table: Tuple[
+        Tuple[int, bool, int, int, Optional[Tuple[Tuple[int, int], ...]], int], ...
+    ]
+
+    @classmethod
+    def compile(cls, graph: ServiceGraph) -> "CallProgram":
+        names = tuple(graph.services)
+        index = {name: i for i, name in enumerate(names)}
+        sid: List[int] = []
+        parent: List[int] = []
+        net_in: List[int] = []
+        children: List[List[int]] = []
+
+        def build(service: str, parent_slot: int, net: int) -> None:
+            j = len(sid)
+            sid.append(index[service])
+            parent.append(parent_slot)
+            net_in.append(net)
+            children.append([])
+            if parent_slot >= 0:
+                children[parent_slot].append(j)
+            for edge in graph.callees(service):
+                for _ in range(edge.calls_per_request):
+                    build(edge.callee, j, edge.network_ns)
+
+        build(graph.root, -1, 0)
+
+        table = []
+        for j, kids in enumerate(children):
+            if kids:
+                c0 = kids[0]
+                table.append((sid[j], False, c0, net_in[c0], None, sid[c0]))
+                continue
+            ends: List[Tuple[int, int]] = [(j, 0)]
+            off = 0
+            k = j
+            while True:
+                p = parent[k]
+                if p < 0:
+                    # walk closed the root: offset is response end - leaf end
+                    table.append((sid[j], True, -1, off, tuple(ends), -1))
+                    break
+                off += net_in[k]  # return hop to the parent
+                sibs = children[p]
+                pos = sibs.index(k)
+                if pos + 1 < len(sibs):
+                    nxt = sibs[pos + 1]
+                    table.append(
+                        (sid[j], True, nxt, off + net_in[nxt], tuple(ends), sid[nxt])
+                    )
+                    break
+                ends.append((p, off))  # k was the last child: p's span closes
+                k = p
+        return cls(
+            service_names=names,
+            workers=tuple(graph.services[n].workers for n in names),
+            n_slots=len(sid),
+            sid=tuple(sid),
+            parent=tuple(parent),
+            net_in=tuple(net_in),
+            table=tuple(table),
+        )
+
+
+def normal_table_for(seed: int) -> np.ndarray:
+    """The 65536-entry CRN table, identical to the legacy engine's."""
+    rng = np.random.default_rng(derive_seed(seed, "queueing"))
+    return rng.standard_normal(1 << TABLE_BITS)
+
+
+def _exp_table(
+    normal_table: np.ndarray,
+    table_key: int,
+    mean: float,
+    sigma: float,
+    cache: Optional[Dict] = None,
+) -> np.ndarray:
+    """``max(1, int(exp(mu + sigma * x)))`` over the whole CRN table.
+
+    Uses ``math.exp`` in a scalar loop, not ``np.exp``: the two can
+    disagree by 1 ULP, which the ``int()`` truncation would amplify
+    into an off-by-one nanosecond vs the legacy engine.
+    """
+    key = (table_key, float(mean), float(sigma))
+    if cache is not None:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    mu = math.log(mean) - 0.5 * sigma * sigma
+    exp = math.exp
+    out = np.fromiter(
+        (exp(mu + sigma * x) for x in normal_table),
+        dtype=np.float64,
+        count=len(normal_table),
+    ).astype(np.int64)
+    np.maximum(out, 1, out=out)
+    if cache is not None:
+        cache[key] = out
+    return out
+
+
+def service_time_matrix(
+    graph: ServiceGraph,
+    programs: Sequence[CallProgram],
+    classes: Optional[np.ndarray],
+    seed: int,
+    n_requests: int,
+    exp_cache: Optional[Dict] = None,
+) -> np.ndarray:
+    """(n_requests, max_slots) int64 service times, CRN-exact.
+
+    Entry ``[rid, j]`` equals the legacy engine's
+    ``sample_service_time(spec, service, rid, call_no=j)`` for the
+    request's program class; slots beyond a class's program are left
+    at 1 and never visited by the event loop.
+    """
+    table_key = derive_seed(seed, "queueing")
+    normal = normal_table_for(seed)
+    local_cache: Dict = {} if exp_cache is None else exp_cache
+    k_max = max(p.n_slots for p in programs)
+    svc = np.ones((n_requests, k_max), dtype=np.int64)
+    rids = np.arange(n_requests, dtype=np.int64)
+    for ci, prog in enumerate(programs):
+        rows = rids if classes is None else rids[classes == ci]
+        if len(rows) == 0:
+            continue
+        mix = rows * RID_MIX
+        salts = {name: zlib.crc32(name.encode()) for name in prog.service_names}
+        for j in range(prog.n_slots):
+            name = prog.service_names[prog.sid[j]]
+            spec = graph.services[name]
+            tab = _exp_table(
+                normal, table_key, spec.inflated_mean(),
+                spec.service_time_sigma, local_cache,
+            )
+            idx = (mix + salts[name] * SALT_MIX + j * CALL_MIX) & TABLE_MASK
+            if classes is None:
+                svc[:, j] = tab[idx]
+            else:
+                svc[rows, j] = tab[idx]
+    return svc
+
+
+@dataclass
+class SpanLog:
+    """SoA span storage over a contiguous request-id window.
+
+    Columns are flat ``(rid_hi - rid_lo) * max_slots`` int64 arrays in
+    (request, slot) order; slot layout comes from the per-class
+    :class:`CallProgram`.  ``self_ns`` is the service-time matrix
+    itself — no extra column is written in the hot loop.
+    """
+
+    rid_lo: int
+    rid_hi: int
+    programs: Tuple[CallProgram, ...]
+    classes: Optional[np.ndarray]  # window-relative, None == all class 0
+    start_ns: np.ndarray
+    end_ns: np.ndarray
+    self_ns: np.ndarray
+
+    @property
+    def max_slots(self) -> int:
+        return max(p.n_slots for p in self.programs)
+
+    def _program_of(self, rid: int) -> CallProgram:
+        if self.classes is None:
+            return self.programs[0]
+        return self.programs[int(self.classes[rid - self.rid_lo])]
+
+    def __len__(self) -> int:
+        if self.classes is None:
+            return (self.rid_hi - self.rid_lo) * self.programs[0].n_slots
+        counts = np.bincount(self.classes, minlength=len(self.programs))
+        return int(sum(c * p.n_slots for c, p in zip(counts, self.programs)))
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """Flattened valid spans as parallel int64 columns."""
+        k = self.max_slots
+        n_win = self.rid_hi - self.rid_lo
+        rid_col = np.repeat(np.arange(self.rid_lo, self.rid_hi, dtype=np.int64), k)
+        slot_col = np.tile(np.arange(k, dtype=np.int64), n_win)
+        sid_col = np.empty(n_win * k, dtype=np.int64)
+        parent_col = np.full(n_win * k, -1, dtype=np.int64)
+        valid = np.zeros(n_win * k, dtype=bool)
+        for ci, prog in enumerate(self.programs):
+            if self.classes is None:
+                rows = np.arange(n_win)
+            else:
+                rows = np.flatnonzero(self.classes == ci)
+            if len(rows) == 0:
+                continue
+            base = rows * k
+            for j in range(prog.n_slots):
+                sid_col[base + j] = prog.sid[j]
+                parent_col[base + j] = prog.parent[j]
+                valid[base + j] = True
+        return {
+            "request_id": rid_col[valid],
+            "slot": slot_col[valid],
+            "service_id": sid_col[valid],
+            "parent_slot": parent_col[valid],
+            "start_ns": self.start_ns[valid],
+            "end_ns": self.end_ns[valid],
+            "self_ns": self.self_ns[valid],
+        }
+
+    def traces(self, rid_lo: Optional[int] = None, rid_hi: Optional[int] = None) -> List[RequestTrace]:
+        """Materialize :class:`RequestTrace` objects (the compat view).
+
+        Span ids derive from (request_id, slot) via
+        :func:`~repro.services.rpc.span_id_for`, so the view is
+        byte-deterministic across runs and worker placements.
+        """
+        lo = self.rid_lo if rid_lo is None else max(self.rid_lo, rid_lo)
+        hi = self.rid_hi if rid_hi is None else min(self.rid_hi, rid_hi)
+        k = self.max_slots
+        out: List[RequestTrace] = []
+        for rid in range(lo, hi):
+            prog = self._program_of(rid)
+            base = (rid - self.rid_lo) * k
+            spans = []
+            for j in range(prog.n_slots):
+                p = prog.parent[j]
+                spans.append(Span(
+                    service=prog.service_names[prog.sid[j]],
+                    start_ns=int(self.start_ns[base + j]),
+                    end_ns=int(self.end_ns[base + j]),
+                    parent=span_id_for(rid, p) if p >= 0 else None,
+                    self_ns=int(self.self_ns[base + j]),
+                    span_id=span_id_for(rid, j),
+                ))
+            out.append(RequestTrace(request_id=rid, spans=spans))
+        return out
+
+
+def run_vectorized(
+    graph: ServiceGraph,
+    arrival_times: np.ndarray,
+    seed: int,
+    warmup_fraction: float = 0.1,
+    keep_traces: int = 0,
+    programs: Optional[Sequence[CallProgram]] = None,
+    classes: Optional[np.ndarray] = None,
+    transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    record: str = "auto",
+    exp_cache: Optional[Dict] = None,
+):
+    """Run the columnar event loop; returns a ``LatencyReport``.
+
+    Discipline (identical to the legacy closure engine):
+
+    * a worker is *reserved at submit time* — ``busy`` increments when
+      the caller issues the RPC, before the network flight;
+    * if no worker is free, the call enters the service's queue keyed
+      by ``(future_arrival, submit_seq)``;
+    * at each completion the worker is released and the queue head (if
+      any) starts *immediately* — possibly before its own arrival
+      time, exactly as the legacy engine's release/queued_start path;
+    * only then is the completing request's next call submitted
+      (first child, next sibling from the completion walk, or the
+      response recorded).
+
+    ``record``: ``"auto"`` keeps span columns for the ``keep_traces``
+    requests after warmup; ``"full"`` keeps all; ``"none"`` keeps none.
+    ``programs``/``classes`` run heterogeneous request classes (retry
+    storms) through per-class compiled programs; all programs must
+    share the graph's service set.  ``transform`` may rescale the
+    service-time matrix in place (hot-key skew) before the run.
+    """
+    from repro.services.latency import LatencyReport
+
+    arrival_times = np.asarray(arrival_times, dtype=np.int64)
+    n = len(arrival_times)
+    if programs is None:
+        programs = (CallProgram.compile(graph),)
+    for prog in programs[1:]:
+        if prog.service_names != programs[0].service_names:
+            raise ValueError("all programs must share one service set")
+    warmup_count = int(n * warmup_fraction)
+    if n - warmup_count <= 0:
+        raise RuntimeError("no requests completed after warmup")
+
+    svc_np = service_time_matrix(graph, programs, classes, seed, n, exp_cache)
+    if transform is not None:
+        svc_np = transform(svc_np)
+
+    k = max(p.n_slots for p in programs)
+    if record == "full":
+        rec_lo, rec_hi = 0, n
+    elif record == "none":
+        rec_lo = rec_hi = 0
+    else:
+        rec_lo = warmup_count
+        rec_hi = min(n, warmup_count + max(0, keep_traces))
+    n_rec = rec_hi - rec_lo
+    starts_rec = np.zeros(n_rec * k, dtype=np.int64) if n_rec else None
+    ends_rec = np.zeros(n_rec * k, dtype=np.int64) if n_rec else None
+
+    # -- hot loop ---------------------------------------------------------
+    # locals only: every name below is a plain list/int lookup.  Every
+    # heap entry is ONE packed int — ``((time << seq_bits | seq)
+    # << tok_bits) | tok`` with ``tok = rid << kbits | slot`` — so a
+    # heap sift is a single int compare and a pop allocates nothing but
+    # the decode shifts.  ``seq`` is a global submit-order counter:
+    # launches take 0..n-1 (winning same-ns ties against sim events,
+    # as the legacy engine's pre-pushed launch events do) and service
+    # queues share the counter, matching legacy (arrival, seq) order.
+    kbits = max(1, (k - 1).bit_length())
+    kmask = (1 << kbits) - 1
+    tok_bits = kbits + max(1, (n - 1).bit_length())
+    seq_bits = (n + 2 * n * k + 2).bit_length()
+    st_bits = seq_bits + tok_bits
+    tok_mask = (1 << tok_bits) - 1
+    tabs = [p.table for p in programs]
+    tab0 = tabs[0]
+    cls_l = classes.tolist() if classes is not None else None
+    # free worker count per service (= workers - busy in legacy terms)
+    free_l = list(programs[0].workers)
+    n_services = len(free_l)
+    qheaps: List[List[int]] = [[] for _ in range(n_services)]
+    arr_l = arrival_times.tolist()
+    resp_np = np.zeros(n, dtype=np.int64)
+    # request rows of the service-time matrix as plain int lists; small
+    # runs pre-materialize, big runs materialize lazily and free rows at
+    # request completion to bound resident memory
+    if n * k <= (1 << 22):
+        svc_rows: List[Optional[List[int]]] = svc_np.tolist()
+    else:
+        svc_rows = [None] * n
+    heap: List[int] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    seq = n
+    ptr = 0
+    # next launch key, recomputed only when a request launches — the
+    # per-event cost is a single int compare against the heap head
+    nlk = ((arr_l[0] << seq_bits) << tok_bits) if n else -1
+
+    while True:
+        if heap:
+            if 0 <= nlk <= heap[0]:
+                launch = True
+            else:
+                launch = False
+        elif nlk >= 0:
+            launch = True
+        else:
+            break
+        if launch:
+            # launch: submit the root call of request `ptr` at its arrival
+            rid = ptr
+            arrive = arr_l[ptr]
+            ptr += 1
+            nlk = ((((arr_l[ptr] << seq_bits) | ptr) << tok_bits)
+                   if ptr < n else -1)
+            tab = tab0 if cls_l is None else tabs[cls_l[rid]]
+            nj = 0
+            sid2 = tab[0][0]
+            tok2 = rid << kbits
+        else:
+            hkey = pop(heap)
+            tok = hkey & tok_mask
+            e = hkey >> st_bits
+            rid = tok >> kbits
+            j = tok & kmask
+            tab = tab0 if cls_l is None else tabs[cls_l[rid]]
+            sid_j, is_leaf, nj, off, ends, sid2 = tab[j]
+            # release the worker, then start the queue head (it may
+            # start before its own arrival — legacy discipline)
+            free_l[sid_j] += 1
+            q = qheaps[sid_j]
+            if q:
+                qtok = pop(q) & tok_mask
+                free_l[sid_j] -= 1
+                qrid = qtok >> kbits
+                qj = qtok & kmask
+                qrow = svc_rows[qrid]
+                if qrow is None:
+                    qrow = svc_rows[qrid] = svc_np[qrid].tolist()
+                push(heap, ((((e + qrow[qj]) << seq_bits) | seq) << tok_bits) | qtok)
+                seq += 1
+                if qrid < rec_hi and qrid >= rec_lo:
+                    starts_rec[(qrid - rec_lo) * k + qj] = e
+            if is_leaf:
+                if rid < rec_hi and rid >= rec_lo:
+                    base = (rid - rec_lo) * k
+                    for s2, o2 in ends:
+                        ends_rec[base + s2] = e + o2
+                if nj < 0:
+                    # completion walk closed the root: request done
+                    resp_np[rid] = e + off
+                    svc_rows[rid] = None
+                    continue
+            arrive = e + off
+            tok2 = tok - j + nj
+        # submit slot `nj` of request `rid` arriving at `arrive`
+        if free_l[sid2] > 0:
+            free_l[sid2] -= 1
+            row = svc_rows[rid]
+            if row is None:
+                row = svc_rows[rid] = svc_np[rid].tolist()
+            push(heap, ((((arrive + row[nj]) << seq_bits) | seq) << tok_bits) | tok2)
+            seq += 1
+            if rid < rec_hi and rid >= rec_lo:
+                starts_rec[(rid - rec_lo) * k + nj] = arrive
+        else:
+            push(qheaps[sid2], (((arrive << seq_bits) | seq) << tok_bits) | tok2)
+            seq += 1
+    if seq >= (1 << seq_bits):  # would corrupt packed keys
+        raise OverflowError("event sequence overflowed its key field")
+
+    # -- assembly ---------------------------------------------------------
+    responses = resp_np[warmup_count:] - arrival_times[warmup_count:]
+    duration_ns = int(arrival_times[-1] - arrival_times[warmup_count]) or 1
+
+    names = programs[0].service_names
+    busy_ns = dict.fromkeys(names, 0)
+    if classes is None:
+        class_rows: List[Optional[np.ndarray]] = [None]
+    else:
+        class_rows = [np.flatnonzero(classes == ci) for ci in range(len(programs))]
+    spans_simulated = 0
+    for ci, prog in enumerate(programs):
+        rows = class_rows[ci]
+        if rows is not None and len(rows) == 0:
+            continue
+        block = svc_np if rows is None else svc_np[rows]
+        spans_simulated += len(block) * prog.n_slots
+        for j in range(prog.n_slots):
+            busy_ns[names[prog.sid[j]]] += int(block[:, j].sum())
+
+    span_log = None
+    sample_traces: List[RequestTrace] = []
+    if n_rec:
+        win_classes = None
+        if classes is not None:
+            win_classes = classes[rec_lo:rec_hi]
+        span_log = SpanLog(
+            rid_lo=rec_lo,
+            rid_hi=rec_hi,
+            programs=tuple(programs),
+            classes=win_classes,
+            start_ns=starts_rec,
+            end_ns=ends_rec,
+            self_ns=svc_np[rec_lo:rec_hi].reshape(-1),
+        )
+        if keep_traces > 0:
+            sample_traces = span_log.traces(
+                warmup_count, min(n, warmup_count + keep_traces)
+            )
+
+    return LatencyReport(
+        response_times_ns=responses,
+        completed=n - warmup_count,
+        duration_ns=duration_ns,
+        service_busy_ns=busy_ns,
+        service_workers=dict(zip(names, programs[0].workers)),
+        sample_traces=sample_traces,
+        span_log=span_log,
+        spans_simulated=spans_simulated,
+    )

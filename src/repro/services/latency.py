@@ -43,6 +43,11 @@ class LatencyReport:
     service_busy_ns: Dict[str, int]
     service_workers: Dict[str, int]
     sample_traces: List[RequestTrace] = field(default_factory=list)
+    #: columnar span window (vectorized engine only); ``sample_traces``
+    #: is its materialized compat view
+    span_log: Optional[object] = None
+    #: total RPC calls simulated, including warmup (vectorized engine)
+    spans_simulated: int = 0
 
     def percentile(self, pct: float) -> float:
         """The ``pct``-th percentile of response times (ns)."""
@@ -80,11 +85,21 @@ class _ServiceState:
 
 
 class QueueingSimulator:
-    """Event-driven simulation of a :class:`ServiceGraph` under load."""
+    """Event-driven simulation of a :class:`ServiceGraph` under load.
 
-    def __init__(self, graph: ServiceGraph, seed: int = 0):
+    ``engine`` selects the hot path: ``"vector"`` (default) runs the
+    columnar array engine of :mod:`repro.services.engine`; ``"legacy"``
+    runs the original closure-per-call heap, kept as the reference
+    oracle for the equivalence suite.  Both produce identical reports
+    on the seeded test graphs (percentile-exact, span-tree-exact).
+    """
+
+    def __init__(self, graph: ServiceGraph, seed: int = 0, engine: str = "vector"):
+        if engine not in ("vector", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
         self.graph = graph
         self.seed = seed
+        self.engine = engine
 
     # -- public API ---------------------------------------------------------
 
@@ -94,10 +109,20 @@ class QueueingSimulator:
         n_requests: int,
         warmup_fraction: float = 0.1,
         keep_traces: int = 0,
+        record: str = "auto",
     ) -> LatencyReport:
         """Drive ``n_requests`` Poisson arrivals through the graph."""
         times = arrivals.arrival_times(n_requests)
-        return self._run(times, warmup_fraction, keep_traces)
+        if self.engine == "legacy":
+            return self._run(times, warmup_fraction, keep_traces)
+        from repro.services.engine import run_vectorized
+
+        return run_vectorized(
+            self.graph, times, self.seed,
+            warmup_fraction=warmup_fraction,
+            keep_traces=keep_traces,
+            record=record,
+        )
 
     def bottleneck_capacity_rps(self) -> float:
         """Highest sustainable arrival rate (calls-per-request aware)."""

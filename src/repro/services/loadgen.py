@@ -27,7 +27,12 @@ class PoissonArrivals:
         """Absolute arrival times (ns) of the first ``n_requests``."""
         if self.rate_rps <= 0:
             raise ValueError("arrival rate must be positive")
-        rng = np.random.default_rng(derive_seed(self.seed, "poisson", self.rate_rps))
+        # canonicalize the rate before hashing: derive_seed stringifies
+        # its labels, so numerically equal but repr-distinct rates
+        # (40000 vs 40000.0 vs np.float64(40000)) would otherwise pick
+        # different arrival streams
+        rate = float(self.rate_rps)
+        rng = np.random.default_rng(derive_seed(self.seed, "poisson", rate))
         gaps = rng.exponential(SEC / self.rate_rps, size=n_requests)
         return np.cumsum(gaps).astype(np.int64)
 

@@ -11,7 +11,23 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+# Legacy span-id stream: process-lifetime, reset between independent
+# runs by repro.util.identity.reset_identity_counters().  Only the
+# legacy closure engine's default span ids draw from it — the
+# vectorized engine derives ids structurally via span_id_for().
 _span_counter = itertools.count(1)
+
+
+def span_id_for(request_id: int, call_index: int) -> str:
+    """Deterministic span id for the ``call_index``-th call (DFS
+    preorder) of request ``request_id``.
+
+    A pure function of request identity, so span ids are byte-identical
+    across runs, jobs widths, and worker placements — unlike the
+    counter default, which depends on how many spans the process has
+    already minted.
+    """
+    return f"span-r{request_id:08d}c{call_index:04d}"
 
 
 @dataclass

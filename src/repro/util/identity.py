@@ -15,6 +15,11 @@ DegradationReport and merged rows) therefore call
 to its boot value.  Only replay harnesses should do this — resetting
 while entities from a previous run are still in use would mint duplicate
 identities.
+
+The RPC span-id stream is legacy-only: the vectorized service engine
+derives span ids structurally from ``(request_id, call_index)`` via
+:func:`repro.services.rpc.span_id_for`, so its output is
+placement-invariant without any counter to rewind.
 """
 
 from __future__ import annotations
