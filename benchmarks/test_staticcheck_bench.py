@@ -1,0 +1,92 @@
+"""Staticcheck incremental-cache benchmark.
+
+Copies the repository's ``src`` tree into a scratch directory and runs
+``existcheck`` three ways: cold (empty cache), warm (everything cached),
+and warm-after-one-edit (one module touched, so only that module and its
+reverse import-graph dependents re-analyze).  Writes files/s for each to
+``BENCH_staticcheck.json`` at the repository root.  The warm run must
+beat the cold run by >= 5x, re-analyze zero files, and all three reports
+must stay byte-identical modulo the injected edit.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+from conftest import emit
+from repro.staticcheck import run_check
+from repro.staticcheck.report import render_json
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+MIN_WARM_SPEEDUP = 5.0
+# a leaf-ish module with a handful of dependents; edits here exercise
+# the reverse-closure scope without invalidating half the tree
+EDIT_TARGET = "src/repro/services/loadgen.py"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _report(result):
+    return render_json(result, result.violations, [], [])
+
+
+def test_staticcheck_incremental_cache(tmp_path):
+    shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+
+    cold, t_cold = _timed(lambda: run_check(["src"], root=tmp_path, jobs=1))
+    warm, t_warm = _timed(lambda: run_check(["src"], root=tmp_path, jobs=1))
+
+    n_files = cold.files_analyzed
+    assert warm.files_reanalyzed == 0, "warm run must be pure cache hits"
+    assert warm.project_roots_reanalyzed == 0
+    assert _report(cold) == _report(warm), "cache must not change the report"
+
+    edit = tmp_path / EDIT_TARGET
+    edit.write_text(edit.read_text() + "\n# bench edit\n")
+    touched, t_touched = _timed(lambda: run_check(["src"], root=tmp_path, jobs=1))
+    assert touched.files_reanalyzed == 1, "one edit must re-parse one file"
+    assert 0 < touched.project_roots_reanalyzed < n_files, (
+        "edit scope must be the module plus dependents, not the whole tree"
+    )
+    assert _report(cold) == _report(touched), (
+        "a comment-only edit must not change the report"
+    )
+
+    warm_speedup = t_cold / t_warm
+    metrics = {
+        "files": n_files,
+        "cold_files_per_s": round(n_files / t_cold, 1),
+        "warm_files_per_s": round(n_files / t_warm, 1),
+        "edit_roots_reanalyzed": touched.project_roots_reanalyzed,
+        "warm_speedup_x": round(warm_speedup, 1),
+        "edit_speedup_x": round(t_cold / t_touched, 1),
+    }
+    from repro.util.bench import write_bench
+
+    report = write_bench(
+        REPO_ROOT / "BENCH_staticcheck.json", "staticcheck", metrics
+    )["metrics"]
+
+    emit(f"Staticcheck incremental cache ({n_files} files)")
+    emit(f"{'pass':<22}{'files/s':>12}{'speedup':>12}")
+    emit(f"{'cold':<22}{report['cold_files_per_s']:>12.1f}{'1.0x':>12}")
+    emit(
+        f"{'warm':<22}{report['warm_files_per_s']:>12.1f}"
+        f"{report['warm_speedup_x']:>11.1f}x"
+    )
+    emit(
+        f"{'warm, 1 edit':<22}{n_files / t_touched:>12.1f}"
+        f"{report['edit_speedup_x']:>11.1f}x"
+        f"   ({report['edit_roots_reanalyzed']} roots re-analyzed)"
+    )
+
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        f"warm staticcheck only {warm_speedup:.1f}x faster than cold; "
+        f"need >= {MIN_WARM_SPEEDUP:.0f}x"
+    )

@@ -233,13 +233,13 @@ def _run_slot(
         outcome.attempts += 1
         label = f"{node.name}/{pod.app}#w{wave}"
         outcome.label = label
-        if not node.alive:
-            # only reachable on a retry attempt: the crashed node reboots
-            # (kubelet restartPolicy) unless policy or quarantine forbids
-            if policy.restart_crashed_nodes and not quarantined:
-                node.restart()
-                report.nodes_restarted += 1
-                report.note(f"restarted {node.name}")
+        # a dead node is only reachable on a retry attempt: the crashed
+        # node reboots (kubelet restartPolicy) unless policy or
+        # quarantine forbids
+        if not node.alive and policy.restart_crashed_nodes and not quarantined:
+            node.restart()
+            report.nodes_restarted += 1
+            report.note(f"restarted {node.name}")
         request = TracingRequest(
             target=pod.app,
             reason=slot_task.reason,

@@ -13,14 +13,23 @@ same bug classes at review time by walking the repo's own AST.
 
 Layout:
 
-* :mod:`repro.staticcheck.rules`    — the EX rule registry and the six
-  shipped rules (EX001..EX006), one per observed failure mode;
+* :mod:`repro.staticcheck.rules`    — the EX rule registries: per-file
+  rules EX001..EX006 plus the interprocedural rules EX007 (seed
+  provenance), EX008 (fork-shared-state races), and EX009 (packed-int
+  width safety), one per observed failure mode;
+* :mod:`repro.staticcheck.graph`    — project-wide symbol table and
+  import/call graph the interprocedural rules run over;
 * :mod:`repro.staticcheck.engine`   — multi-pass driver: a facts pass
-  over :mod:`repro.util.identity`, then a parallel per-file rule pass on
-  :class:`repro.parallel.RunPool`;
+  over :mod:`repro.util.identity` / :mod:`repro.util.rng`, a parallel
+  per-file rule pass on :class:`repro.parallel.RunPool`, and a
+  per-root project-rule pass;
+* :mod:`repro.staticcheck.cache`    — content-addressed per-module
+  result cache (warm runs re-analyze only changed modules and their
+  dependents; reports stay byte-identical);
 * :mod:`repro.staticcheck.baseline` — committed suppression file with
   per-entry justifications; stale entries fail the check;
-* :mod:`repro.staticcheck.report`   — deterministic text/JSON reporters;
+* :mod:`repro.staticcheck.report`   — deterministic text/JSON/SARIF
+  reporters;
 * :mod:`repro.staticcheck.main`     — argument surface shared by
   ``python -m repro.staticcheck`` and ``repro.cli staticcheck``.
 
@@ -36,15 +45,22 @@ or durably, with a justification, in ``staticcheck-baseline.json``.
 """
 
 from repro.staticcheck.baseline import Baseline, load_baseline
+from repro.staticcheck.cache import ResultCache
 from repro.staticcheck.engine import CheckResult, analyze_source, run_check
-from repro.staticcheck.rules import RULES, Violation
+from repro.staticcheck.graph import ProjectGraph, build_graph_from_sources, run_project_rules
+from repro.staticcheck.rules import PROJECT_RULES, RULES, Violation
 
 __all__ = [
     "Baseline",
     "CheckResult",
+    "PROJECT_RULES",
+    "ProjectGraph",
     "RULES",
+    "ResultCache",
     "Violation",
     "analyze_source",
+    "build_graph_from_sources",
     "load_baseline",
     "run_check",
+    "run_project_rules",
 ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.staticcheck.rules import Violation
 
@@ -54,14 +54,30 @@ class Baseline:
 
     @classmethod
     def from_json(cls, text: str) -> "Baseline":
-        """Parse a baseline document, validating its version."""
+        """Parse a baseline document, validating its contract.
+
+        Beyond the version, two shapes are rejected outright: duplicate
+        suppression keys (the second entry would silently win, hiding a
+        merge mistake) and empty or whitespace-only justifications (an
+        exemption nobody can defend is not an exemption — the whole
+        point of the file is the written why).
+        """
         payload = json.loads(text)
         version = payload.get("version")
         if version != BASELINE_VERSION:
             raise ValueError(f"unsupported baseline version {version!r}")
         suppressions: Dict[str, str] = {}
         for entry in payload.get("suppressions", []):
-            suppressions[str(entry["key"])] = str(entry.get("justification", ""))
+            key = str(entry["key"])
+            justification = str(entry.get("justification", ""))
+            if key in suppressions:
+                raise ValueError(f"duplicate suppression key {key!r}")
+            if not justification.strip():
+                raise ValueError(
+                    f"suppression {key!r} has an empty justification — "
+                    f"every baseline entry must say why the finding is ok"
+                )
+            suppressions[key] = justification
         return cls(suppressions=suppressions)
 
 
@@ -70,13 +86,30 @@ def load_baseline(path: Path) -> Baseline:
     return Baseline.from_json(path.read_text())
 
 
+def _key_path(key: str) -> str:
+    """The repo-relative path segment of a suppression key.
+
+    Keys are ``RULE:path:scope:token``; paths are posix-relative and so
+    never contain a colon themselves.
+    """
+    parts = key.split(":")
+    return parts[1] if len(parts) >= 2 else ""
+
+
 def apply_baseline(
-    violations: Sequence[Violation], baseline: Baseline
+    violations: Sequence[Violation],
+    baseline: Baseline,
+    analyzed_paths: Optional[Sequence[str]] = None,
 ) -> Tuple[List[Violation], List[Violation], List[str]]:
     """Split violations against the baseline.
 
     Returns ``(new, suppressed, stale_keys)`` — ``new`` must be empty
     and ``stale_keys`` must be empty for the check to pass.
+
+    ``analyzed_paths`` scopes staleness to this run: an entry whose path
+    was not analyzed (a ``src``-only run against a baseline that also
+    covers ``tests/``, or a ``--changed-only`` run) is simply out of
+    scope, not stale — only a full-tree run can retire entries.
     """
     new: List[Violation] = []
     suppressed: List[Violation] = []
@@ -87,8 +120,11 @@ def apply_baseline(
             matched.add(violation.key)
         else:
             new.append(violation)
-    stale = sorted(set(baseline.suppressions) - matched)
-    return new, suppressed, stale
+    candidates = set(baseline.suppressions) - matched
+    if analyzed_paths is not None:
+        in_scope = set(analyzed_paths)
+        candidates = {key for key in candidates if _key_path(key) in in_scope}
+    return new, suppressed, sorted(candidates)
 
 
 def write_baseline(

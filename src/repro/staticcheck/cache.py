@@ -1,0 +1,208 @@
+"""Content-addressed per-module result cache for warm existcheck runs.
+
+The analyzer's cost is dominated by parsing every module and re-running
+every rule on every invocation; in a tight edit loop almost nothing has
+changed.  This cache mirrors the ``DecodeCache`` design from
+:mod:`repro.hwtrace.cache`: results are addressed by *content* (blake2b
+of the module source), never by mtime, so a rebuilt checkout with
+identical bytes still hits, and a one-byte edit always misses.
+
+Two validity levels per module, matching the two rule tiers:
+
+* **local** (EX001..EX006) results depend only on the module's own
+  source — valid while its ``source_hash`` matches;
+* **project** (EX007..EX009) results for a *root* module depend on the
+  root's whole import closure — valid while ``deps_fp`` (blake2b over
+  the sorted ``module:source_hash`` pairs of the closure) matches.  The
+  cache-soundness contract in :mod:`repro.staticcheck.graph` is what
+  makes this key sufficient: information flows strictly down the import
+  graph, so an edit outside the closure cannot change the root's
+  findings.
+
+On top of both sits an **analyzer fingerprint** — a digest of the
+staticcheck package's own sources plus the facts registries — so
+editing a rule, the engine, or a registry invalidates every entry at
+once.  Entries also record the profile and rule selection they were
+computed under; a profile flip (a file moving between ``src/`` and
+``tests/``) misses rather than serving wrong-profile results.
+
+The cache is a *performance* layer only: a cold run, a warm run, and a
+run with a deleted cache file produce byte-identical reports, which the
+determinism tests assert.  Corrupt or version-skewed cache files are
+discarded wholesale, never repaired.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".staticcheck-cache.json"
+
+
+def source_digest(source: str) -> str:
+    """Stable content address of one module's source text."""
+    return hashlib.blake2b(source.encode(), digest_size=16).hexdigest()
+
+
+def closure_fingerprint(hashes: Dict[str, str], closure: Sequence[str]) -> str:
+    """Digest of a root's import closure: ``module:source_hash`` sorted.
+
+    Modules in the closure that have no hash (deleted since the edge was
+    recorded, or outside the analyzed set) still contribute their name,
+    so appearing/disappearing dependencies change the fingerprint too.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for module in sorted(set(closure)):
+        h.update(module.encode())
+        h.update(b"\x1f")
+        h.update(hashes.get(module, "<missing>").encode())
+        h.update(b"\x1e")
+    return h.hexdigest()
+
+
+def analyzer_fingerprint(facts: Dict[str, set], rule_ids: Sequence[str]) -> str:
+    """Digest of the analyzer itself: its sources, registries, and facts.
+
+    Any edit to the staticcheck package, the rule registry, or the
+    repo-wide facts (identity/rng registries) must invalidate every
+    cached result — rules may have changed meaning.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(CACHE_VERSION).encode())
+    package_dir = Path(__file__).resolve().parent
+    for source_file in sorted(package_dir.glob("*.py")):
+        h.update(source_file.name.encode())
+        h.update(b"\x1f")
+        h.update(hashlib.blake2b(source_file.read_bytes(), digest_size=16).digest())
+    for rule_id in sorted(rule_ids):
+        h.update(rule_id.encode())
+        h.update(b"\x1f")
+    for key in sorted(facts):
+        h.update(key.encode())
+        h.update(b"\x1f")
+        for value in sorted(facts[key]):
+            h.update(str(value).encode())
+            h.update(b"\x1e")
+    return h.hexdigest()
+
+
+@dataclass
+class ModuleEntry:
+    """Cached analysis state for one module."""
+
+    path: str  # repo-relative posix path
+    source_hash: str
+    profile: str
+    rules: List[str]  # per-file rule selection the entry was computed under
+    imports: List[str]  # project-internal direct dependencies
+    deps_fp: str  # import-closure fingerprint at project-analysis time
+    local: List[Dict[str, object]] = field(default_factory=list)
+    project: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form with deterministic member ordering."""
+        return {
+            "path": self.path,
+            "source_hash": self.source_hash,
+            "profile": self.profile,
+            "rules": list(self.rules),
+            "imports": sorted(self.imports),
+            "deps_fp": self.deps_fp,
+            "local": list(self.local),
+            "project": list(self.project),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleEntry":
+        """Inverse of :meth:`to_dict`; tolerant of absent optional keys."""
+        return cls(
+            path=str(payload["path"]),
+            source_hash=str(payload["source_hash"]),
+            profile=str(payload["profile"]),
+            rules=[str(r) for r in payload.get("rules", [])],
+            imports=[str(m) for m in payload.get("imports", [])],
+            deps_fp=str(payload.get("deps_fp", "")),
+            local=list(payload.get("local", [])),
+            project=list(payload.get("project", [])),
+        )
+
+
+@dataclass
+class ResultCache:
+    """The on-disk cache document plus hit/miss bookkeeping."""
+
+    analyzer_fp: str
+    modules: Dict[str, ModuleEntry] = field(default_factory=dict)
+
+    # -- validity queries ---------------------------------------------------
+
+    def local_valid(self, module: str, path: str, source_hash: str,
+                    profile: str, rules: Sequence[str]) -> bool:
+        """Whether the per-file results for ``module`` can be reused."""
+        entry = self.modules.get(module)
+        return (
+            entry is not None
+            and entry.path == path
+            and entry.source_hash == source_hash
+            and entry.profile == profile
+            and entry.rules == list(rules)
+        )
+
+    def project_valid(self, module: str, deps_fp: str) -> bool:
+        """Whether the interprocedural results rooted at ``module`` hold."""
+        entry = self.modules.get(module)
+        return entry is not None and entry.deps_fp == deps_fp and bool(deps_fp)
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize compactly with sorted keys (byte-stable on disk)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "analyzer_fp": self.analyzer_fp,
+            "modules": {
+                module: entry.to_dict()
+                for module, entry in sorted(self.modules.items())
+            },
+        }
+        return json.dumps(payload, indent=None, sort_keys=True, separators=(",", ":"))
+
+    def save(self, path: Path) -> None:
+        """Write the cache document to ``path``."""
+        path.write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Path, analyzer_fp: str) -> "ResultCache":
+        """Read the cache; any mismatch degrades to an empty cache.
+
+        A missing file, unparsable JSON, a version bump, or an analyzer
+        fingerprint change all mean the same thing — nothing on disk can
+        be trusted — and cost only a cold run, never a wrong result.
+        """
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return cls(analyzer_fp=analyzer_fp)
+        if not isinstance(payload, dict):
+            return cls(analyzer_fp=analyzer_fp)
+        if payload.get("version") != CACHE_VERSION:
+            return cls(analyzer_fp=analyzer_fp)
+        if payload.get("analyzer_fp") != analyzer_fp:
+            return cls(analyzer_fp=analyzer_fp)
+        modules: Dict[str, ModuleEntry] = {}
+        try:
+            for module, entry in payload.get("modules", {}).items():
+                modules[str(module)] = ModuleEntry.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return cls(analyzer_fp=analyzer_fp)
+        return cls(analyzer_fp=analyzer_fp, modules=modules)
+
+
+def default_cache_path(root: Path) -> Path:
+    """Where the cache lives when ``--cache`` is not given (gitignored)."""
+    return root / DEFAULT_CACHE_NAME

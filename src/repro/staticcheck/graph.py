@@ -1,0 +1,377 @@
+"""Whole-program view: project symbol table plus import/call graph.
+
+The per-file rules (EX001..EX006) deliberately see one module at a time;
+the bug classes PRs 6-9 fixed by hand — an uncanonicalized float seed
+label crossing a module boundary, a pool-worker callable three calls
+deep mutating a module global, a packed-int key whose width constant
+lives in another file — are invisible at that granularity.
+:class:`ProjectGraph` is the shared substrate the interprocedural rules
+(EX007..EX009, registered in :mod:`repro.staticcheck.rules`) run over:
+
+* a **symbol table** mapping dotted qualnames to definitions — functions
+  and methods (with their :class:`~repro.staticcheck.rules.ModuleContext`
+  for alias resolution), module-level integer constants (packed-width
+  declarations), and per-class attribute annotations (the float-field
+  signal EX007 keys on);
+* an **import graph** restricted to project-internal modules, with the
+  reverse edges the incremental cache and ``--changed-only`` use to find
+  dependents of an edited module;
+* a **call graph** whose edges are resolved through each module's import
+  aliases: plain calls, ``from``-imported calls, same-class ``self.``
+  method calls, and calls through imported modules all resolve to
+  project qualnames; anything rooted in a dynamic receiver stays
+  unresolved (heuristic analyzer, conservative by construction).
+
+Cache-soundness contract: every interprocedural rule analyzes one *root
+module* at a time and may only consult the root and modules in the
+root's import closure (information flows strictly *down* the import
+graph).  That is what makes the per-module result cache's key — source
+digest plus import-closure dependency fingerprints — sound: an edit
+outside a root's closure cannot change the root's findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.staticcheck.rules import (  # noqa: F401  (defaults re-exported)
+    DEFAULT_CANONICALIZERS,
+    DEFAULT_FORK_ENTRY_POINTS,
+    DEFAULT_SEED_ROOTS,
+    DEFAULT_SEED_SINKS,
+    ModuleContext,
+    Violation,
+)
+
+
+def project_imports(ctx: ModuleContext, known: Set[str]) -> Set[str]:
+    """Project-internal modules ``ctx`` imports (direct edges only).
+
+    ``from repro.util import rng`` can bind either the submodule
+    ``repro.util.rng`` or a symbol of ``repro.util``; both candidates are
+    tried against the known-module universe, so the edge set errs toward
+    *more* dependencies — which only ever makes cache invalidation more
+    eager, never stale.
+    """
+    deps: Set[str] = set()
+    candidates: List[str] = []
+    for target in ctx.import_aliases.values():
+        candidates.append(target)
+    for target in ctx.from_imports.values():
+        candidates.append(target)
+        if "." in target:
+            candidates.append(target.rsplit(".", 1)[0])
+    for candidate in candidates:
+        probe = candidate
+        while probe:
+            if probe in known and probe != ctx.module:
+                deps.add(probe)
+                break
+            probe = probe.rsplit(".", 1)[0] if "." in probe else ""
+    return deps
+
+
+def reverse_closure(
+    imports: Dict[str, Set[str]], seeds: Iterable[str]
+) -> Set[str]:
+    """Seeds plus every module that (transitively) imports one of them."""
+    reverse: Dict[str, Set[str]] = {module: set() for module in imports}
+    for module, deps in imports.items():
+        for dep in deps:
+            reverse.setdefault(dep, set()).add(module)
+    out: Set[str] = set()
+    stack = [seed for seed in seeds if seed in reverse]
+    while stack:
+        module = stack.pop()
+        if module in out:
+            continue
+        out.add(module)
+        stack.extend(reverse.get(module, ()))
+    return out
+
+
+def import_closure(imports: Dict[str, Set[str]], seed: str) -> Set[str]:
+    """Seed plus everything it (transitively) imports; cycle-safe."""
+    out: Set[str] = set()
+    stack = [seed]
+    while stack:
+        module = stack.pop()
+        if module in out:
+            continue
+        out.add(module)
+        stack.extend(imports.get(module, ()))
+    return out
+
+
+class FunctionInfo:
+    """Symbol-table row for one function or method."""
+
+    __slots__ = ("qualname", "ctx", "node", "class_name")
+
+    def __init__(
+        self,
+        qualname: str,
+        ctx: ModuleContext,
+        node: ast.AST,
+        class_name: Optional[str],
+    ):
+        self.qualname = qualname
+        self.ctx = ctx
+        self.node = node
+        self.class_name = class_name  # enclosing "mod.Class" for methods
+
+
+class ProjectGraph:
+    """Symbol table + import/call graph over a set of module contexts."""
+
+    def __init__(
+        self,
+        contexts: Dict[str, ModuleContext],
+        facts: Optional[Dict[str, Set[str]]] = None,
+    ):
+        self.contexts = contexts
+        self.facts = facts or {}
+        #: module -> project-internal modules it imports
+        self.imports: Dict[str, Set[str]] = {}
+        #: "mod.fn" / "mod.Class.meth" -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: "mod.NAME" -> int value for module-level integer constants
+        self.constants: Dict[str, int] = {}
+        #: "mod.Class" -> {attr: annotation token ("float", "int", ...)}
+        self.class_annotations: Dict[str, Dict[str, str]] = {}
+        #: caller qualname -> [(callee qualname, call node)]
+        self.calls: Dict[str, List[Tuple[str, ast.Call]]] = {}
+        known = set(contexts)
+        for module, ctx in contexts.items():
+            self.imports[module] = project_imports(ctx, known)
+            self._index_module(ctx)
+        for info in list(self.functions.values()):
+            self.calls[info.qualname] = self._index_calls(info)
+
+    # -- symbol table -------------------------------------------------------
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        module = ctx.module
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+                and not isinstance(node.value.value, bool)
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.constants[f"{module}.{target.id}"] = node.value.value
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # scope_of(def) is the def's own dotted scope ("Class.meth")
+                qual = ctx.scope_of(node)
+                class_name = None
+                for ancestor in ctx.ancestors(node):
+                    if isinstance(ancestor, ast.ClassDef):
+                        class_name = f"{module}.{ctx.scope_of(ancestor)}"
+                        break
+                    if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        break
+                self.functions[f"{module}.{qual}"] = FunctionInfo(
+                    f"{module}.{qual}", ctx, node, class_name
+                )
+            elif isinstance(node, ast.ClassDef):
+                scope = ctx.scope_of(node)
+                if "." in scope:
+                    continue  # nested class: out of the annotation model
+                annotations: Dict[str, str] = {}
+                for statement in node.body:
+                    if (
+                        isinstance(statement, ast.AnnAssign)
+                        and isinstance(statement.target, ast.Name)
+                    ):
+                        annotations[statement.target.id] = _annotation_token(
+                            statement.annotation
+                        )
+                self.class_annotations[f"{module}.{node.name}"] = annotations
+
+    # -- call graph ---------------------------------------------------------
+
+    def resolve_callable(
+        self, ctx: ModuleContext, node: ast.AST, enclosing: Optional[FunctionInfo] = None
+    ) -> Optional[str]:
+        """Project qualname a callable expression refers to, if resolvable.
+
+        Handles plain names (local defs and ``from``-imports), dotted
+        access through imported modules, and ``self.method`` within the
+        enclosing class.  Dynamic receivers return ``None``.
+        """
+        if isinstance(node, ast.Lambda):
+            return None
+        if (
+            enclosing is not None
+            and enclosing.class_name
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        ):
+            candidate = f"{enclosing.class_name}.{node.attr}"
+            if candidate in self.functions:
+                return candidate
+            return None
+        resolved = ctx.resolve(node)
+        if resolved is None:
+            return None
+        if resolved in self.functions:
+            return resolved
+        # a bare local name resolves against the defining module
+        if "." not in resolved:
+            candidate = f"{ctx.module}.{resolved}"
+            if candidate in self.functions:
+                return candidate
+        # ClassName(...) -> __init__ is not walked; treat the class's
+        # methods as unreachable through construction (conservative)
+        return None
+
+    def _index_calls(self, info: FunctionInfo) -> List[Tuple[str, ast.Call]]:
+        out: List[Tuple[str, ast.Call]] = []
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self.resolve_callable(info.ctx, node.func, info)
+            if callee is not None:
+                out.append((callee, node))
+        return out
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Function qualnames reachable from ``roots`` via resolved calls."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for callee, _site in self.calls.get(qual, ()):
+                if callee not in seen:
+                    stack.append(callee)
+        return seen
+
+    # -- constant resolution ------------------------------------------------
+
+    def constant_value(self, ctx: ModuleContext, node: ast.AST) -> Optional[int]:
+        """Integer value of an expression, following cross-module names.
+
+        Resolves literals, module-level integer constants (local or
+        imported), and ``a + b`` / ``a * b`` / ``1 << k`` arithmetic over
+        such constants — enough to evaluate declared pack widths like
+        ``SEQ_BITS + TOK_BITS`` wherever the constants live.
+        """
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            resolved = ctx.resolve(node)
+            if resolved is None:
+                return None
+            if resolved in self.constants:
+                return self.constants[resolved]
+            if "." not in resolved:
+                return self.constants.get(f"{ctx.module}.{resolved}")
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self.constant_value(ctx, node.left)
+            right = self.constant_value(ctx, node.right)
+            if left is None or right is None:
+                return None
+            try:
+                if isinstance(node.op, ast.Add):
+                    return left + right
+                if isinstance(node.op, ast.Sub):
+                    return left - right
+                if isinstance(node.op, ast.Mult):
+                    return left * right
+                if isinstance(node.op, ast.LShift):
+                    return left << right
+                if isinstance(node.op, ast.BitOr):
+                    return left | right
+            except (OverflowError, ValueError):
+                return None
+        return None
+
+
+def _annotation_token(annotation: ast.AST) -> str:
+    """Terminal token of a type annotation ("float", "Dict", ...)."""
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: take the head identifier
+        return node.value.split("[")[0].strip()
+    return ""
+
+
+def build_graph(
+    contexts: Dict[str, ModuleContext],
+    facts: Optional[Dict[str, Set[str]]] = None,
+) -> ProjectGraph:
+    """Construct a :class:`ProjectGraph` over prepared module contexts."""
+    return ProjectGraph(contexts, facts=facts)
+
+
+def build_graph_from_sources(
+    sources: Dict[str, str],
+    facts: Optional[Dict[str, Set[str]]] = None,
+    profiles: Optional[Dict[str, str]] = None,
+) -> ProjectGraph:
+    """Test/fixture surface: build a graph from ``{rel_path: source}``.
+
+    Module names derive from paths exactly as the engine derives them
+    (``src/`` stripped, ``__init__`` collapsed), so fixtures exercise the
+    same resolution rules the real tree does.
+    """
+    from repro.staticcheck.engine import module_name_for
+    from pathlib import Path
+
+    contexts: Dict[str, ModuleContext] = {}
+    for rel_path, source in sources.items():
+        module = module_name_for(Path(rel_path), Path("."))
+        ctx = ModuleContext.build(source, path=rel_path, module=module, facts=facts)
+        if profiles:
+            ctx.profile = profiles.get(rel_path, "full")
+        contexts[module] = ctx
+    return ProjectGraph(contexts, facts=facts)
+
+
+def run_project_rules(
+    graph: ProjectGraph,
+    roots: Optional[Sequence[str]] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> Dict[str, List[Violation]]:
+    """Run the interprocedural registry, one root module at a time.
+
+    Returns ``{root module: [violations]}`` — the per-root bucketing is
+    what the incremental cache stores, keyed on the root's import-closure
+    fingerprint (see the cache-soundness contract in the module
+    docstring).  ``roots`` defaults to every full-profile module in the
+    graph; relaxed-profile modules (tests/benchmarks) never root an
+    interprocedural analysis.
+    """
+    from repro.staticcheck.rules import PROJECT_RULES
+
+    if roots is None:
+        roots = sorted(
+            module for module, ctx in graph.contexts.items()
+            if getattr(ctx, "profile", "full") == "full"
+        )
+    selected = set(rules) if rules is not None else set(PROJECT_RULES)
+    out: Dict[str, List[Violation]] = {}
+    for root in roots:
+        found: List[Violation] = []
+        for rule_id, (_summary, checker) in PROJECT_RULES.items():
+            if rule_id in selected:
+                found.extend(checker(graph, root))
+        found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        out[root] = found
+    return out

@@ -21,7 +21,7 @@ from repro.staticcheck.baseline import (
     write_baseline,
 )
 from repro.staticcheck.engine import run_check
-from repro.staticcheck.report import render_json, render_text
+from repro.staticcheck.report import render_json, render_sarif, render_text
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -52,8 +52,30 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="also write the canonical JSON report to PATH",
     )
     parser.add_argument(
+        "--sarif", default="", metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH (GitHub code scanning)",
+    )
+    parser.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="analyze only modules changed since the merge base with "
+             "origin/main, plus their reverse import-graph dependents "
+             "(falls back to a full run when git is unavailable)",
+    )
+    parser.add_argument(
+        "--changed-base", default=None, metavar="REF",
+        help="merge-base ref for --changed-only (default: origin/main)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache", default="", metavar="PATH",
+        help="result cache location (default: ./.staticcheck-cache.json)",
     )
 
 
@@ -65,7 +87,23 @@ def run(args: argparse.Namespace) -> int:
             print(f"error: path {path!r} does not exist", file=sys.stderr)
             return 2
 
-    result = run_check(args.paths, root=root, jobs=args.jobs)
+    result = run_check(
+        args.paths,
+        root=root,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_path=Path(args.cache) if args.cache else None,
+        changed_only=args.changed_only,
+        changed_base=args.changed_base,
+    )
+    # cache accounting goes to stderr only: stdout and the report files
+    # must stay byte-identical across cold/warm/jobs=N runs
+    print(
+        f"existcheck: {result.files_reanalyzed} file(s) re-analyzed, "
+        f"{result.cache_hits} cache hit(s), "
+        f"{result.project_roots_reanalyzed} project root(s) re-analyzed",
+        file=sys.stderr,
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
     baseline = Baseline()
@@ -87,12 +125,16 @@ def run(args: argparse.Namespace) -> int:
         )
         return 0
 
-    new, suppressed, stale = apply_baseline(result.violations, baseline)
+    new, suppressed, stale = apply_baseline(
+        result.violations, baseline, analyzed_paths=result.analyzed_paths
+    )
     text = render_text(result, new, suppressed, stale)
     json_doc = render_json(result, new, suppressed, stale)
     print(json_doc if args.format == "json" else text)
     if args.json:
         Path(args.json).write_text(json_doc)
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(result, new, suppressed))
     return 1 if (new or stale) else 0
 
 

@@ -13,9 +13,24 @@ import json
 from typing import Dict, List, Sequence
 
 from repro.staticcheck.engine import CheckResult
-from repro.staticcheck.rules import RULES, Violation
+from repro.staticcheck.rules import PROJECT_RULES, RULES, Violation
 
 REPORT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _all_rule_summaries() -> Dict[str, str]:
+    summaries = {rule_id: summary for rule_id, (summary, _fn) in RULES.items()}
+    summaries.update(
+        {rule_id: summary for rule_id, (summary, _fn) in PROJECT_RULES.items()}
+    )
+    summaries["EX000"] = "file does not parse"
+    return dict(sorted(summaries.items()))
 
 
 def render_text(
@@ -63,9 +78,7 @@ def render_json(
     payload: Dict[str, object] = {
         "version": REPORT_VERSION,
         "files_analyzed": result.files_analyzed,
-        "rules": {
-            rule_id: summary for rule_id, (summary, _fn) in sorted(RULES.items())
-        },
+        "rules": _all_rule_summaries(),
         "new_violations": [v.to_dict() for v in new],
         "suppressed": [v.to_dict() for v in suppressed],
         "stale_suppressions": list(stale),
@@ -84,3 +97,71 @@ def _count_by_rule(violations: Sequence[Violation]) -> Dict[str, int]:
     for violation in violations:
         counts[violation.rule] = counts.get(violation.rule, 0) + 1
     return dict(sorted(counts.items()))
+
+
+def render_sarif(
+    result: CheckResult,
+    new: Sequence[Violation],
+    suppressed: Sequence[Violation],
+) -> str:
+    """SARIF 2.1.0 document for GitHub code scanning.
+
+    New violations surface as ``error`` results (they fail the check);
+    baselined ones ride along as ``note`` results so the annotations
+    show the accepted debt without failing anything.  Stale suppressions
+    are a baseline-file problem, not a code location, so they stay out
+    of SARIF (the text/JSON reports carry them).
+    """
+    rules_meta = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, summary in _all_rule_summaries().items()
+    ]
+
+    def to_result(violation: Violation, level: str) -> Dict[str, object]:
+        return {
+            "ruleId": violation.rule,
+            "level": level,
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"existcheckKey/v1": violation.key},
+        }
+
+    payload: Dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "existcheck",
+                        "informationUri": "https://github.com/",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": (
+                    [to_result(v, "error") for v in new]
+                    + [to_result(v, "note") for v in suppressed]
+                ),
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -97,6 +97,9 @@ class ModuleContext:
     #: repo-wide facts from the engine's first pass (identity registry)
     facts: Dict[str, Set[str]] = field(default_factory=dict)
     lines: List[str] = field(default_factory=list)
+    #: rule profile: "full" (src) or "relaxed" (tests/benchmarks, where
+    #: duration clocks are the measurement instrument, not a bug)
+    profile: str = "full"
 
     @classmethod
     def build(
@@ -105,6 +108,7 @@ class ModuleContext:
         path: str,
         module: str,
         facts: Optional[Dict[str, Set[str]]] = None,
+        profile: str = "full",
     ) -> "ModuleContext":
         tree = ast.parse(source, filename=path)
         ctx = cls(
@@ -114,6 +118,7 @@ class ModuleContext:
             tree=tree,
             facts=facts or {},
             lines=source.splitlines(),
+            profile=profile,
         )
         ctx._index_imports()
         ctx._index_structure()
@@ -256,7 +261,12 @@ def make_violation(
 
 
 def _in_repro(ctx: ModuleContext) -> bool:
-    return ctx.module == "repro" or ctx.module.startswith("repro.")
+    if ctx.module == "repro" or ctx.module.startswith("repro."):
+        return True
+    # relaxed-profile modules (tests/, benchmarks/) opt in to the subset
+    # of rules the engine selects for them; the namespace gate must not
+    # silently turn that subset off
+    return ctx.profile == "relaxed"
 
 
 def _self_scoped(ctx: ModuleContext) -> bool:
@@ -278,6 +288,15 @@ WALL_CLOCK_CALLS = frozenset({
     "datetime.datetime.today", "datetime.date.today",
 })
 
+#: duration clocks — meaningless as timestamps, legitimate as stopwatch
+#: reads; the relaxed profile (tests/benchmarks, whose job is timing the
+#: host process) exempts exactly these and nothing else
+_DURATION_CLOCKS = frozenset({
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+})
+
 
 @rule("EX001", "wall-clock read in virtual-time code")
 def check_wall_clock(ctx: ModuleContext) -> List[Violation]:
@@ -295,6 +314,8 @@ def check_wall_clock(ctx: ModuleContext) -> List[Violation]:
             continue
         resolved = ctx.resolve(node.func)
         if resolved in WALL_CLOCK_CALLS:
+            if ctx.profile == "relaxed" and resolved in _DURATION_CLOCKS:
+                continue
             token = ".".join(resolved.split(".")[-2:])
             violation = make_violation(
                 ctx, "EX001", node,
@@ -756,4 +777,769 @@ def check_swallowed_decode_errors(ctx: ModuleContext) -> List[Violation]:
             )
             if violation:
                 out.append(violation)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# interprocedural registry (EX007..EX009) — rules over the ProjectGraph
+# ---------------------------------------------------------------------------
+#
+# These rules receive a ``repro.staticcheck.graph.ProjectGraph`` plus one
+# *root module* and must only consult the root and its import closure
+# (the cache-soundness contract documented in graph.py).  They are
+# registered separately from the per-file rules because the engine
+# schedules them differently: per-file results cache on the file's own
+# digest; per-root results cache on the root's closure fingerprint.
+
+#: fallback registries used when the analyzed tree's util/rng.py and
+#: util/identity.py do not declare their own (foreign trees, fixtures)
+DEFAULT_SEED_SINKS = frozenset({
+    "random.seed", "random.Random", "numpy.random.seed",
+    "numpy.random.default_rng", "numpy.random.SeedSequence",
+    "repro.util.rng.RngFactory", "repro.services.workloads.CampaignSpec",
+})
+DEFAULT_SEED_ROOTS = frozenset({
+    "repro.util.rng.derive_seed",
+    "repro.util.rng.RngFactory.fork",
+    "repro.util.rng.RngFactory.stream",
+})
+DEFAULT_CANONICALIZERS = frozenset({"float", "int", "str", "repr", "round", "bool"})
+DEFAULT_FORK_ENTRY_POINTS = frozenset({
+    "repro.parallel.pool.RunPool.map",
+    "repro.parallel.pool.RunPool.broadcast",
+    "repro.parallel.workers.WorkerPool.map",
+    "repro.parallel.workers.WorkerPool.broadcast",
+    "repro.parallel.workers.process_pool",
+})
+
+#: sinks that fall back to OS entropy when called with no seed at all
+_ENTROPY_WHEN_UNSEEDED = frozenset({
+    "numpy.random.default_rng", "numpy.random.seed", "numpy.random.SeedSequence",
+    "random.seed", "random.Random",
+})
+
+# ProjectGraph is intentionally not imported at module level (graph.py
+# imports this module); the annotations below stay strings.
+ProjectRuleFn = Callable[[object, str], List[Violation]]
+
+#: rule id -> (summary, checker) for whole-program rules
+PROJECT_RULES: Dict[str, Tuple[str, ProjectRuleFn]] = {}
+
+
+def project_rule(rule_id: str, summary: str) -> Callable[[ProjectRuleFn], ProjectRuleFn]:
+    """Register an interprocedural checker under ``rule_id``."""
+
+    def register(fn: ProjectRuleFn) -> ProjectRuleFn:
+        if rule_id in PROJECT_RULES or rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        PROJECT_RULES[rule_id] = (summary, fn)
+        return fn
+
+    return register
+
+
+def _facts_set(facts: Dict[str, Set[str]], key: str, default: frozenset) -> Set[str]:
+    value = facts.get(key)
+    return value if value else set(default)
+
+
+def _enclosing_function(ctx: ModuleContext, node: ast.AST) -> Optional[ast.AST]:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _enclosing_function_info(graph, ctx: ModuleContext, node: ast.AST):
+    """FunctionInfo for the function enclosing ``node``, if indexed."""
+    fn = _enclosing_function(ctx, node)
+    if fn is None:
+        return None
+    return graph.functions.get(f"{ctx.module}.{ctx.scope_of(fn)}")
+
+
+def _local_assignments(fn: Optional[ast.AST], name: str) -> List[ast.expr]:
+    """Values assigned to plain name ``name`` inside ``fn`` (any order)."""
+    if fn is None:
+        return []
+    out: List[ast.expr] = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+                out.append(node.value)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            out.append(node.value)
+    return out
+
+
+def _range_loop_vars(fn: Optional[ast.AST]) -> Set[str]:
+    """Loop variables drawn from range()/enumerate() — integral, ordered."""
+    if fn is None:
+        return set()
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(node.iter, ast.Call):
+            func = node.iter.func
+            if isinstance(func, ast.Name) and func.id in ("range", "enumerate"):
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+def _self_class_annotations(graph, ctx: ModuleContext, node: ast.AST) -> Dict[str, str]:
+    """Attribute annotations of the class enclosing ``node`` (for self.X)."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return graph.class_annotations.get(f"{ctx.module}.{ancestor.name}", {})
+    return {}
+
+
+# ---------------------------------------------------------------------------
+# EX007 — seed provenance
+# ---------------------------------------------------------------------------
+
+
+def _seed_rooted(graph, ctx: ModuleContext, node: ast.AST, roots: Set[str],
+                 canonicalizers: Set[str], fn: Optional[ast.AST], depth: int) -> bool:
+    """Whether a seed expression provably derives from an approved root.
+
+    Roots: literals, ``derive_seed``/named-stream calls (transitively,
+    through project helper functions), seed-named bindings, and integral
+    loop indices; arithmetic over rooted operands stays rooted.
+    """
+    if depth <= 0:
+        return False
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        if "seed" in node.id.lower():
+            return True
+        if node.id in _range_loop_vars(fn):
+            return True
+        assigned = _local_assignments(fn, node.id)
+        return bool(assigned) and all(
+            _seed_rooted(graph, ctx, value, roots, canonicalizers, fn, depth - 1)
+            for value in assigned
+        )
+    if isinstance(node, ast.Attribute):
+        return "seed" in node.attr.lower()
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr in ("stream", "fork"):
+            return True  # named-stream construction off an RngFactory value
+        resolved = ctx.resolve(node.func)
+        if resolved is not None:
+            if resolved in roots:
+                return True
+            if resolved.split(".")[-1] in canonicalizers and "." not in resolved:
+                return bool(node.args) and _seed_rooted(
+                    graph, ctx, node.args[0], roots, canonicalizers, fn, depth - 1
+                )
+        enclosing = _enclosing_function_info(graph, ctx, node)
+        callee = graph.resolve_callable(ctx, node.func, enclosing)
+        if callee is not None:
+            info = graph.functions[callee]
+            returns = [
+                n.value for n in ast.walk(info.node)
+                if isinstance(n, ast.Return) and n.value is not None
+            ]
+            return bool(returns) and all(
+                _seed_rooted(graph, info.ctx, value, roots, canonicalizers,
+                             info.node, depth - 1)
+                for value in returns
+            )
+        return False
+    if isinstance(node, ast.BinOp):
+        return (
+            _seed_rooted(graph, ctx, node.left, roots, canonicalizers, fn, depth - 1)
+            and _seed_rooted(graph, ctx, node.right, roots, canonicalizers, fn, depth - 1)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _seed_rooted(graph, ctx, node.operand, roots, canonicalizers, fn, depth - 1)
+    if isinstance(node, ast.IfExp):
+        return (
+            _seed_rooted(graph, ctx, node.body, roots, canonicalizers, fn, depth - 1)
+            and _seed_rooted(graph, ctx, node.orelse, roots, canonicalizers, fn, depth - 1)
+        )
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(
+            _seed_rooted(graph, ctx, element, roots, canonicalizers, fn, depth - 1)
+            for element in node.elts
+        )
+    if isinstance(node, ast.Subscript):
+        return _seed_rooted(graph, ctx, node.value, roots, canonicalizers, fn, depth - 1)
+    return False
+
+
+def _float_typed(graph, ctx: ModuleContext, node: ast.AST,
+                 fn: Optional[ast.AST], canonicalizers: Set[str], depth: int = 4) -> bool:
+    """Whether an expression is statically float-typed (annotation-driven)."""
+    if depth <= 0:
+        return False
+    if isinstance(node, ast.Constant):
+        return False  # a float *literal* has one stable source repr
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return (
+            _float_typed(graph, ctx, node.left, fn, canonicalizers, depth - 1)
+            or _float_typed(graph, ctx, node.right, fn, canonicalizers, depth - 1)
+        )
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+            token = _self_class_annotations(graph, ctx, node).get(node.attr, "")
+            return token in ("float", "float32", "float64", "floating")
+        return False
+    if isinstance(node, ast.Name):
+        if fn is not None:
+            args = getattr(fn, "args", None)
+            if args is not None:
+                for arg in list(args.args) + list(args.kwonlyargs):
+                    if arg.arg == node.id and arg.annotation is not None:
+                        from repro.staticcheck.graph import _annotation_token
+                        return _annotation_token(arg.annotation) in (
+                            "float", "float32", "float64", "floating"
+                        )
+        for value in _local_assignments(fn, node.id):
+            if isinstance(value, ast.Call):
+                resolved = ctx.resolve(value.func) or ""
+                if resolved in canonicalizers:
+                    return False  # normalized through float()/int()/...
+                if resolved.split(".")[-1] in ("float64", "float32", "float_"):
+                    return True
+            if _float_typed(graph, ctx, value, fn, canonicalizers, depth - 1):
+                return True
+        return False
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve(node.func) or ""
+        if resolved in canonicalizers:
+            return False
+        return resolved.split(".")[-1] in ("float64", "float32", "float_")
+    return False
+
+
+def _unordered_label(ctx: ModuleContext, node: ast.AST, fn: Optional[ast.AST]) -> Optional[str]:
+    """Token if a derive_seed label stringifies in container order."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict-literal"
+    token = _unordered_source(node)
+    if token is not None:
+        return token
+    if isinstance(node, ast.Name) and fn is not None:
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in list(args.args) + list(args.kwonlyargs):
+                if arg.arg == node.id and arg.annotation is not None:
+                    from repro.staticcheck.graph import _annotation_token
+                    if _annotation_token(arg.annotation) in ("dict", "Dict", "set", "Set",
+                                                            "frozenset", "FrozenSet"):
+                        return f"{node.id}: {_annotation_token(arg.annotation)}"
+    return None
+
+
+@project_rule("EX007", "stochastic sink seeded outside util.rng provenance")
+def check_seed_provenance(graph, root: str) -> List[Violation]:
+    """Every stochastic decision must derive from a named, logically-keyed
+    stream: chains reaching ``default_rng``/``random.seed``/``RngFactory``/
+    campaign seeds must bottom out in :func:`repro.util.rng.derive_seed`
+    (or a seed-named binding whose own provenance is checked at *its*
+    sink).  On top of rootedness, labels hashed by ``derive_seed`` (and
+    ``RngFactory.stream``/``fork``) must be canonical: a float-typed
+    label is flagged unless normalized through ``float()`` first (the
+    PR 9 ``loadgen.py`` arrival-rate bug), and dict/set-ordered labels
+    are flagged outright.
+    """
+    ctx = graph.contexts.get(root)
+    if ctx is None or not _in_repro(ctx) or _self_scoped(ctx) or ctx.profile != "full":
+        return []
+    facts = graph.facts
+    sinks = _facts_set(facts, "seed_sinks", DEFAULT_SEED_SINKS)
+    roots = _facts_set(facts, "seed_roots", DEFAULT_SEED_ROOTS)
+    canonicalizers = _facts_set(facts, "seed_canonicalizers", DEFAULT_CANONICALIZERS)
+    out: List[Violation] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = ctx.resolve(node.func)
+        fn = _enclosing_function(ctx, node)
+        # -- sink rootedness ------------------------------------------------
+        if resolved in sinks and ctx.module != "repro.util.rng":
+            seed_arg: Optional[ast.expr] = None
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_arg = keyword.value
+            if seed_arg is None and node.args:
+                seed_arg = node.args[0]
+            token = resolved.split(".")[-1]
+            if seed_arg is None:
+                if resolved in _ENTROPY_WHEN_UNSEEDED and not node.keywords:
+                    violation = make_violation(
+                        ctx, "EX007", node,
+                        f"{resolved}() called without a seed falls back to OS "
+                        f"entropy; derive the seed via repro.util.rng.derive_seed",
+                        token,
+                    )
+                    if violation:
+                        out.append(violation)
+                continue
+            if not _seed_rooted(graph, ctx, seed_arg, roots, canonicalizers, fn, 4):
+                violation = make_violation(
+                    ctx, "EX007", node,
+                    f"seed reaching {resolved}() is not rooted in "
+                    f"repro.util.rng (derive_seed / named streams / a "
+                    f"seed-named binding); its provenance cannot be replayed",
+                    token,
+                )
+                if violation:
+                    out.append(violation)
+        # -- label canonicality at derivation sites -------------------------
+        labels: List[ast.expr] = []
+        if resolved in roots and resolved.split(".")[-1] == "derive_seed":
+            labels = list(node.args[1:])
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in ("stream", "fork") \
+                and ctx.module != "repro.util.rng":
+            labels = list(node.args)
+        for label in labels:
+            unordered = _unordered_label(ctx, label, fn)
+            if unordered is not None:
+                violation = make_violation(
+                    ctx, "EX007", label,
+                    f"derive_seed label stringifies an unordered {unordered}; "
+                    f"its repr depends on insertion/hash order — pass "
+                    f"sorted(...) items instead",
+                    unordered,
+                )
+                if violation:
+                    out.append(violation)
+                continue
+            if _float_typed(graph, ctx, label, fn, canonicalizers):
+                text = ast.unparse(label)
+                violation = make_violation(
+                    ctx, "EX007", label,
+                    f"float-typed label {text!r} reaches derive_seed "
+                    f"uncanonicalized; derive_seed stringifies labels, so "
+                    f"repr-distinct numerics (40000 vs 40000.0 vs "
+                    f"np.float64(40000)) select different streams — "
+                    f"normalize with float(...) into a local first",
+                    text,
+                )
+                if violation:
+                    out.append(violation)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EX008 — fork-shared-state races
+# ---------------------------------------------------------------------------
+
+
+def _pool_submission_sites(graph, ctx: ModuleContext,
+                           entries: Set[str]) -> List[Tuple[ast.Call, ast.expr]]:
+    """(call, task-callable expr) for pool fan-out sites in ``ctx``."""
+    entry_methods = {entry.rsplit(".", 1)[-1] for entry in entries if "." in entry}
+    entry_ctors = {"RunPool", "WorkerPool", "process_pool"}
+    sites: List[Tuple[ast.Call, ast.expr]] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in entry_methods):
+            continue
+        receiver = func.value
+        pool_like = False
+        if isinstance(receiver, ast.Name):
+            name = receiver.id.lower()
+            pool_like = name == "pool" or name.endswith("pool")
+            if not pool_like:
+                fn = _enclosing_function(ctx, receiver)
+                for value in _local_assignments(fn, receiver.id):
+                    if isinstance(value, ast.Call):
+                        resolved = ctx.resolve(value.func) or ""
+                        if resolved.split(".")[-1] in entry_ctors or resolved in entries:
+                            pool_like = True
+        elif isinstance(receiver, ast.Call):
+            resolved = ctx.resolve(receiver.func) or ""
+            pool_like = resolved in entries or resolved.split(".")[-1] in entry_ctors
+        elif isinstance(receiver, ast.Attribute):
+            pool_like = receiver.attr.lower().endswith("pool")
+        if pool_like:
+            sites.append((node, node.args[0]))
+    return sites
+
+
+def _worker_unsafe_effects(graph, info) -> List[Tuple[ast.AST, str, str]]:
+    """(site, name, kind) for unshippable writes inside one function.
+
+    Kinds: ``global`` (module-global container/flag of the function's own
+    module), ``module-attr`` (``othermod.attr = ...``), ``default-arg``
+    (mutable default argument mutated in place), ``closure`` (nonlocal
+    rebind).  Registered state (reset_identity_counters targets and
+    PROCESS_LIFETIME_STATE entries) is exempt — those are the declared,
+    output-invisible caches.
+    """
+    ctx = info.ctx
+    fn = info.node
+    registered = set(graph.facts.get("identity_registered", set()))
+    registered |= set(graph.facts.get("process_lifetime", set()))
+    module_bindings = set(_module_level_bindings(ctx))
+    params = {arg.arg for arg in getattr(fn.args, "args", [])}
+    params |= {arg.arg for arg in getattr(fn.args, "kwonlyargs", [])}
+    # plain local rebinds shadow the module global (unless declared global)
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    locals_assigned: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id not in declared_global:
+                    locals_assigned.add(target.id)
+    mutable_defaults: Set[str] = set()
+    defaults = list(getattr(fn.args, "defaults", []))
+    if defaults:
+        for arg, default in zip(fn.args.args[-len(defaults):], defaults):
+            if isinstance(default, (ast.Dict, ast.List, ast.Set)):
+                mutable_defaults.add(arg.arg)
+            elif isinstance(default, ast.Call):
+                resolved = ctx.resolve(default.func) or ""
+                if resolved in _CONTAINER_CTORS:
+                    mutable_defaults.add(arg.arg)
+
+    effects: List[Tuple[ast.AST, str, str]] = []
+
+    def global_target(name: str) -> bool:
+        return (
+            name in module_bindings
+            and name not in params
+            and (name in declared_global or name not in locals_assigned)
+        )
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and node.func.attr in _MUTATOR_METHODS:
+                if base.id in mutable_defaults:
+                    effects.append((node, base.id, "default-arg"))
+                elif global_target(base.id) and f"{ctx.module}:{base.id}" not in registered:
+                    effects.append((node, base.id, "global"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                    name = target.value.id
+                    if name in mutable_defaults:
+                        effects.append((node, name, "default-arg"))
+                    elif global_target(name) and f"{ctx.module}:{name}" not in registered:
+                        effects.append((node, name, "global"))
+                elif isinstance(target, ast.Name) and target.id in declared_global:
+                    if f"{ctx.module}:{target.id}" not in registered:
+                        effects.append((node, target.id, "global"))
+                elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    base_name = target.value.id
+                    resolved = None
+                    if base_name in ctx.import_aliases:
+                        resolved = ctx.import_aliases[base_name]
+                    elif base_name in ctx.from_imports:
+                        resolved = ctx.from_imports[base_name]
+                    if (
+                        resolved is not None
+                        and resolved in graph.contexts
+                        and f"{resolved}:{target.attr}" not in registered
+                    ):
+                        effects.append(
+                            (node, f"{base_name}.{target.attr}", "module-attr")
+                        )
+        elif isinstance(node, ast.Nonlocal):
+            # a nonlocal inside a *nested* helper binds a cell of this
+            # function's own frame — intra-task, ships back with the
+            # return value.  Only fn's own nonlocals escape the task.
+            enclosing = _enclosing_function(ctx, node)
+            if enclosing is fn:
+                for name in node.names:
+                    effects.append((node, name, "closure"))
+    return effects
+
+
+@project_rule("EX008", "worker-side mutation of state that never ships back")
+def check_fork_shared_state(graph, root: str) -> List[Violation]:
+    """Task callables run in forked pool workers whose memory is discarded
+    after the task: only the return value ships back (``ShippedArrays``
+    or pickle).  A function reachable from a submitted callable that
+    mutates a module global, a closure cell, or a mutable default
+    argument therefore diverges silently — the parent never sees the
+    write, and the worker drags it into unrelated later tasks (the
+    parent/worker divergence class PR 6 hit).  Registered state
+    (``reset_identity_counters`` targets, ``PROCESS_LIFETIME_STATE``) is
+    exempt: those are the declared output-invisible caches.
+    """
+    ctx = graph.contexts.get(root)
+    if ctx is None or not _in_repro(ctx) or _self_scoped(ctx) or ctx.profile != "full":
+        return []
+    entries = _facts_set(graph.facts, "fork_entry_points", DEFAULT_FORK_ENTRY_POINTS)
+    out: List[Violation] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for call, task_arg in _pool_submission_sites(graph, ctx, entries):
+        enclosing = _enclosing_function_info(graph, ctx, call)
+        task_roots: List[str] = []
+        if isinstance(task_arg, ast.Lambda):
+            for inner in ast.walk(task_arg.body):
+                if isinstance(inner, ast.Call):
+                    callee = graph.resolve_callable(ctx, inner.func, enclosing)
+                    if callee is not None:
+                        task_roots.append(callee)
+        else:
+            callee = graph.resolve_callable(ctx, task_arg, enclosing)
+            if callee is not None:
+                task_roots.append(callee)
+        if not task_roots:
+            continue
+        submitted_at = f"{ctx.path}:{call.lineno}"
+        for reached in sorted(graph.reachable_from(task_roots)):
+            info = graph.functions[reached]
+            if info.ctx.module.startswith("repro.staticcheck"):
+                continue
+            for site, name, kind in _worker_unsafe_effects(graph, info):
+                mark = (info.ctx.path, getattr(site, "lineno", 0), name)
+                if mark in seen:
+                    continue
+                seen.add(mark)
+                what = {
+                    "global": f"module global '{name}'",
+                    "module-attr": f"imported-module attribute '{name}'",
+                    "default-arg": f"mutable default argument '{name}'",
+                    "closure": f"closure cell '{name}' (nonlocal)",
+                }[kind]
+                violation = make_violation(
+                    info.ctx, "EX008", site,
+                    f"{info.qualname}() mutates {what} while reachable from "
+                    f"worker task callable '{task_roots[0]}' (submitted at "
+                    f"{submitted_at}); worker-side writes never ship back to "
+                    f"the parent — return the data (ShippedArrays/pickle) or "
+                    f"register the state with repro.util.identity",
+                    name,
+                )
+                if violation:
+                    out.append(violation)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# EX009 — packed-int width safety
+# ---------------------------------------------------------------------------
+
+
+def _guarded_tokens(fn: Optional[ast.AST]) -> Set[str]:
+    """Source tokens bound by an assert/raise width guard in ``fn``.
+
+    ``assert x < (1 << k)``, ``if x >= (1 << k): raise`` and mask
+    comparisons all register ``x`` — the guard proves the packed field
+    cannot silently overflow, which is all EX009 asks for.
+    """
+    out: Set[str] = set()
+    if fn is None:
+        return out
+    for node in ast.walk(fn):
+        test: Optional[ast.expr] = None
+        if isinstance(node, ast.Assert):
+            test = node.test
+        elif isinstance(node, ast.If) and any(
+            isinstance(stmt, ast.Raise) for stmt in node.body
+        ):
+            test = node.test
+        if test is None:
+            continue
+        for compare in ast.walk(test):
+            if isinstance(compare, ast.Compare):
+                for expr in [compare.left] + list(compare.comparators):
+                    if isinstance(expr, (ast.Name, ast.Attribute)):
+                        out.add(ast.unparse(expr))
+    return out
+
+
+def _masked_names(fn: Optional[ast.AST]) -> Set[str]:
+    """Names whose every assignment is width-bounded (& mask / % mod)."""
+    if fn is None:
+        return set()
+    bounded: Dict[str, bool] = {}
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        is_bounded = isinstance(node.value, ast.BinOp) and isinstance(
+            node.value.op, (ast.BitAnd, ast.Mod)
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                previous = bounded.get(target.id, True)
+                bounded[target.id] = previous and is_bounded
+    return {name for name, ok in bounded.items() if ok}
+
+
+def _bits_upper_bound(graph, ctx: ModuleContext, node: ast.AST) -> Optional[int]:
+    """Bitmask bounding which bits an int expression can possibly set.
+
+    ``(x & 0xF) << 1`` → ``0x1E``; unknown subexpressions poison the
+    bound to ``None``.  Lets EX009 accept deliberate *disjoint* flag ORs
+    (``(bits << 1) | 0x20`` stop markers) that a pure width comparison
+    would misread as field overflow.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.BitAnd):
+            mask = graph.constant_value(ctx, node.right)
+            if mask is None:
+                mask = graph.constant_value(ctx, node.left)
+            return mask if mask is not None and mask >= 0 else None
+        if isinstance(node.op, ast.Mod):
+            bound = graph.constant_value(ctx, node.right)
+            return bound - 1 if bound is not None and bound > 0 else None
+        if isinstance(node.op, ast.LShift):
+            base = _bits_upper_bound(graph, ctx, node.left)
+            shift = graph.constant_value(ctx, node.right)
+            if base is None or shift is None or shift < 0 or shift > 63:
+                return None
+            return base << shift
+        if isinstance(node.op, ast.BitOr):
+            left = _bits_upper_bound(graph, ctx, node.left)
+            right = _bits_upper_bound(graph, ctx, node.right)
+            if left is None or right is None:
+                return None
+            return left | right
+    return None
+
+
+def _field_safe(graph, ctx: ModuleContext, operand: ast.AST, width: Optional[int],
+                guards: Set[str], masked: Set[str],
+                shifted_bits: Optional[int] = None) -> Optional[str]:
+    """None if the OR-ed field provably fits ``width`` bits, else why not."""
+    if isinstance(operand, ast.Constant) and isinstance(operand.value, int):
+        if width is not None and operand.value >= (1 << width):
+            if shifted_bits is not None and (operand.value & shifted_bits) == 0:
+                return None  # disjoint flag OR: cannot touch the field
+            return f"literal {operand.value} needs more than {width} bits"
+        return None
+    if isinstance(operand, ast.BinOp) and isinstance(operand.op, (ast.BitAnd, ast.Mod)):
+        bound = graph.constant_value(ctx, operand.right)
+        if width is not None and bound is not None:
+            limit = bound if isinstance(operand.op, ast.Mod) else bound + 1
+            if limit > (1 << width):
+                return f"mask/modulo admits values above the {width}-bit field"
+        return None  # explicitly width-bounded
+    if isinstance(operand, (ast.Name, ast.Attribute)):
+        token = ast.unparse(operand)
+        if token in guards:
+            return None
+        if isinstance(operand, ast.Name) and operand.id in masked:
+            return None
+        return f"'{token}' is neither masked nor guarded against its field width"
+    if isinstance(operand, ast.Call):
+        func = operand.func
+        if isinstance(func, ast.Name) and func.id == "int":
+            return (
+                f"int({ast.unparse(operand.args[0]) if operand.args else ''}) "
+                f"truncates silently inside a packed key"
+            )
+        return f"'{ast.unparse(operand)}' has no provable bit width"
+    if isinstance(operand, ast.BinOp) and isinstance(operand.op, ast.BitOr):
+        # nested pack: recurse into both fields
+        left = _field_safe(graph, ctx, operand.left, None, guards, masked)
+        if left is not None:
+            return left
+        return _field_safe(graph, ctx, operand.right, None, guards, masked)
+    if isinstance(operand, ast.BinOp) and isinstance(operand.op, ast.LShift):
+        return None  # the shifted-high half; its own pack site checks it
+    return f"'{ast.unparse(operand)}' has no provable bit width"
+
+
+@project_rule("EX009", "packed-int field can overflow its declared width")
+def check_packed_widths(graph, root: str) -> List[Violation]:
+    """Packed integer keys (``(t << seq_bits | seq) << tok_bits | tok``
+    event-heap entries, the scheduler's ``(tid << 10) | core_id`` hook
+    keys) silently corrupt neighbouring fields when an OR-ed value
+    outgrows its shift width.  Every ``(x << k) | y`` must make ``y``'s
+    bound *visible*: a literal that fits, an ``& mask``/``% mod`` bound,
+    or an assert/raise guard in the same function.  Shift widths resolve
+    through module-level integer constants, including imported ones; a
+    constant-width pack that exceeds the 63-bit signed budget is flagged
+    outright, as is a bare ``int()`` truncation inside a key.
+    """
+    ctx = graph.contexts.get(root)
+    if ctx is None or not _in_repro(ctx) or _self_scoped(ctx) or ctx.profile != "full":
+        return []
+    out: List[Violation] = []
+    seen: Set[Tuple[str, str]] = set()
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr)):
+            continue
+        shift = node.left
+        if not (isinstance(shift, ast.BinOp) and isinstance(shift.op, ast.LShift)):
+            continue
+        fn = _enclosing_function(ctx, node)
+        guards = _guarded_tokens(fn)
+        masked = _masked_names(fn)
+        width = graph.constant_value(ctx, shift.right)
+        if width is not None and width >= 63:
+            violation = make_violation(
+                ctx, "EX009", node,
+                f"left shift by {width} overflows the 63-bit signed int64 "
+                f"budget heaps and numpy columns assume",
+                f"<<{width}",
+            )
+            if violation:
+                out.append(violation)
+            continue
+        # cumulative constant width of nested packs must stay under 63
+        total = width
+        inner = shift.left
+        while (
+            total is not None
+            and isinstance(inner, ast.BinOp)
+            and isinstance(inner.op, (ast.BitOr, ast.LShift))
+        ):
+            if isinstance(inner.op, ast.LShift):
+                inner_width = graph.constant_value(ctx, inner.right)
+                total = None if inner_width is None else total + inner_width
+                inner = inner.left
+            else:
+                inner = inner.left
+        if total is not None and total >= 63:
+            violation = make_violation(
+                ctx, "EX009", node,
+                f"nested pack shifts total {total} bits — the value field "
+                f"overflows the 63-bit signed budget",
+                f"<<{total}",
+            )
+            if violation:
+                out.append(violation)
+            continue
+        reason = _field_safe(
+            graph, ctx, node.right, width, guards, masked,
+            shifted_bits=_bits_upper_bound(graph, ctx, shift),
+        )
+        if reason is None:
+            continue
+        token = ast.unparse(node.right)
+        if len(token) > 40:
+            token = token[:37] + "..."
+        mark = (ctx.scope_of(node), token)
+        if mark in seen:
+            continue
+        seen.add(mark)
+        violation = make_violation(
+            ctx, "EX009", node,
+            f"packed field may overflow its "
+            f"{'dynamic' if width is None else str(width) + '-bit'} slot: "
+            f"{reason} — mask it (& ((1 << k) - 1)) or guard it "
+            f"(assert/raise) in this function",
+            token,
+        )
+        if violation:
+            out.append(violation)
     return out

@@ -15,6 +15,38 @@ from typing import Dict
 
 import numpy as np
 
+#: Stochastic *sinks* — dotted callables whose seed argument (positional
+#: 0 or ``seed=``) decides a random stream.  The EX007 seed-provenance
+#: rule of :mod:`repro.staticcheck` taint-tracks every value reaching one
+#: of these and fails the build unless the chain is rooted in
+#: :data:`SEED_ROOTS` (or a literal / seed-named binding).  The registry
+#: lives here, next to the machinery it guards, so growing the RNG
+#: surface and growing the analysis are the same review.
+SEED_SINKS = frozenset({
+    "random.seed",
+    "random.Random",
+    "numpy.random.seed",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "repro.util.rng.RngFactory",
+    "repro.services.workloads.CampaignSpec",
+})
+
+#: Approved provenance *roots*: a seed chain is deterministic iff it
+#: bottoms out in one of these derivations (everything else EX007 flags).
+SEED_ROOTS = frozenset({
+    "repro.util.rng.derive_seed",
+    "repro.util.rng.RngFactory.fork",
+    "repro.util.rng.RngFactory.stream",
+})
+
+#: Calls that canonicalize a label before it is hashed by
+#: :func:`derive_seed` — ``derive_seed`` stringifies its labels, so
+#: numerically equal but repr-distinct values (``40000`` vs ``40000.0``
+#: vs ``np.float64(40000)``) pick different streams unless normalized
+#: through one of these first (the PR 9 ``loadgen.py`` bug class).
+SEED_CANONICALIZERS = frozenset({"float", "int", "str", "repr", "round", "bool"})
+
 
 def derive_seed(base_seed: int, *labels: object) -> int:
     """Derive a stable 63-bit child seed from a base seed and labels.

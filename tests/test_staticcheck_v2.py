@@ -1,0 +1,619 @@
+"""Self-tests for the whole-program half of ``existcheck``.
+
+Covers the v2 surface: the project graph and the interprocedural rules
+EX007 (seed provenance, including the PR 9 ``loadgen.py`` float-label
+regression shape), EX008 (fork-shared-state races, including the
+worker-task-mutates-a-global fixture), EX009 (packed-int width safety),
+the incremental result cache (cold/warm/jobs byte-identity, and the
+warm-run re-analysis scope after a one-module edit), ``--changed-only``,
+the baseline contract edge cases, and the SARIF emitter.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Baseline,
+    build_graph_from_sources,
+    load_baseline,
+    run_check,
+    run_project_rules,
+)
+from repro.staticcheck.baseline import apply_baseline
+from repro.staticcheck.report import render_json, render_sarif
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def project_check(sources, facts=None, rules=None):
+    """Run the interprocedural registry over ``{rel_path: source}``."""
+    graph = build_graph_from_sources(
+        {path: textwrap.dedent(source) for path, source in sources.items()},
+        facts=facts,
+    )
+    out = []
+    for violations in run_project_rules(graph, rules=rules).values():
+        out.extend(violations)
+    return out
+
+
+def rule_ids(violations):
+    return sorted({v.rule for v in violations})
+
+
+# ---------------------------------------------------------------------------
+# EX007 — seed provenance
+# ---------------------------------------------------------------------------
+
+
+class TestEX007SeedProvenance:
+    def test_fires_on_prefix_loadgen_float_label(self):
+        """The PR 9 regression shape: a float dataclass field reaches
+        derive_seed without canonicalization, so repr-distinct numerics
+        (40000 vs 40000.0) silently select different streams."""
+        violations = project_check({
+            "src/repro/services/loadgen_fixture.py": """
+                from dataclasses import dataclass
+                from repro.util.rng import derive_seed
+                import numpy as np
+
+                @dataclass(frozen=True)
+                class PoissonArrivals:
+                    rate_rps: float
+                    seed: int
+
+                    def arrival_times(self, horizon_ns):
+                        rng = np.random.default_rng(
+                            derive_seed(self.seed, "poisson", self.rate_rps)
+                        )
+                        return rng
+            """,
+        })
+        assert rule_ids(violations) == ["EX007"]
+        assert violations[0].token == "self.rate_rps"
+        assert "float" in violations[0].message
+
+    def test_silent_on_postfix_canonicalized_label(self):
+        violations = project_check({
+            "src/repro/services/loadgen_fixture.py": """
+                from dataclasses import dataclass
+                from repro.util.rng import derive_seed
+                import numpy as np
+
+                @dataclass(frozen=True)
+                class PoissonArrivals:
+                    rate_rps: float
+                    seed: int
+
+                    def arrival_times(self, horizon_ns):
+                        rate = float(self.rate_rps)
+                        rng = np.random.default_rng(
+                            derive_seed(self.seed, "poisson", rate)
+                        )
+                        return rng
+            """,
+        })
+        assert violations == []
+
+    def test_fires_on_unrooted_sink_seed(self):
+        violations = project_check({
+            "src/repro/foo.py": """
+                import numpy as np
+                import time
+
+                def make():
+                    return np.random.default_rng(int(time.time()))
+            """,
+        })
+        assert rule_ids(violations) == ["EX007"]
+        assert "not rooted" in violations[0].message
+
+    def test_fires_on_unseeded_entropy_sink(self):
+        violations = project_check({
+            "src/repro/foo.py": """
+                import numpy as np
+
+                def make():
+                    return np.random.default_rng()
+            """,
+        })
+        assert rule_ids(violations) == ["EX007"]
+        assert "OS" in violations[0].message
+
+    def test_silent_on_derive_seed_rooted_chain(self):
+        violations = project_check({
+            "src/repro/foo.py": """
+                import numpy as np
+                from repro.util.rng import derive_seed
+
+                def make(base_seed, shard):
+                    return np.random.default_rng(
+                        derive_seed(base_seed, "shard", shard)
+                    )
+            """,
+        })
+        assert violations == []
+
+    def test_silent_on_seed_named_binding_and_loop_index(self):
+        violations = project_check({
+            "src/repro/foo.py": """
+                import numpy as np
+
+                def make(campaign_seed, n):
+                    out = []
+                    for index in range(n):
+                        out.append(np.random.default_rng(campaign_seed + index))
+                    return out
+            """,
+        })
+        assert violations == []
+
+    def test_fires_on_dict_ordered_label(self):
+        violations = project_check({
+            "src/repro/foo.py": """
+                from repro.util.rng import derive_seed
+
+                def child(seed):
+                    return derive_seed(seed, {"a": 1, "b": 2})
+            """,
+        })
+        assert rule_ids(violations) == ["EX007"]
+        assert "unordered" in violations[0].message
+
+    def test_rootedness_follows_project_helper_returns(self):
+        violations = project_check({
+            "src/repro/helper.py": """
+                from repro.util.rng import derive_seed
+
+                def shard_seed(base_seed, shard):
+                    return derive_seed(base_seed, "shard", shard)
+            """,
+            "src/repro/foo.py": """
+                import numpy as np
+                from repro.helper import shard_seed
+
+                def make(base_seed, shard):
+                    return np.random.default_rng(shard_seed(base_seed, shard))
+            """,
+        })
+        assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# EX008 — fork-shared-state races
+# ---------------------------------------------------------------------------
+
+
+WORKER_MODULE = """
+    _HITS = {}
+
+    def record(key):
+        _HITS[key] = _HITS.get(key, 0) + 1
+
+    def task(item):
+        record(item)
+        return item * 2
+"""
+
+DRIVER_MODULE = """
+    from repro.parallel.workers import process_pool
+    from repro.worklib import task
+
+    def run(items):
+        pool = process_pool()
+        return pool.map(task, items)
+"""
+
+
+class TestEX008ForkSharedState:
+    def test_fires_on_worker_task_mutating_unregistered_global(self):
+        """The acceptance fixture: a task callable reaches a function
+        that mutates a module global the parent will never see."""
+        violations = project_check({
+            "src/repro/worklib.py": WORKER_MODULE,
+            "src/repro/driver.py": DRIVER_MODULE,
+        })
+        assert rule_ids(violations) == ["EX008"]
+        assert violations[0].token == "_HITS"
+        assert violations[0].path == "src/repro/worklib.py"
+        assert "never ship back" in violations[0].message
+
+    def test_silent_when_global_is_registered(self):
+        violations = project_check(
+            {
+                "src/repro/worklib.py": WORKER_MODULE,
+                "src/repro/driver.py": DRIVER_MODULE,
+            },
+            facts={"process_lifetime": {"repro.worklib:_HITS"}},
+        )
+        assert violations == []
+
+    def test_silent_on_pure_task(self):
+        violations = project_check({
+            "src/repro/worklib.py": """
+                def task(item):
+                    return item * 2
+            """,
+            "src/repro/driver.py": DRIVER_MODULE,
+        })
+        assert violations == []
+
+    def test_fires_on_mutable_default_argument(self):
+        violations = project_check({
+            "src/repro/worklib.py": """
+                def task(item, cache={}):
+                    cache[item] = True
+                    return item
+            """,
+            "src/repro/driver.py": DRIVER_MODULE,
+        })
+        assert rule_ids(violations) == ["EX008"]
+        assert "default argument" in violations[0].message
+
+    def test_intra_task_closure_is_not_flagged(self):
+        """A nested helper rebinding its parent frame via nonlocal stays
+        inside the task call: the write ships back with the return."""
+        violations = project_check({
+            "src/repro/worklib.py": """
+                def task(items):
+                    failures = 0
+
+                    def note():
+                        nonlocal failures
+                        failures += 1
+
+                    for item in items:
+                        if item < 0:
+                            note()
+                    return failures
+            """,
+            "src/repro/driver.py": DRIVER_MODULE,
+        })
+        assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# EX009 — packed-int width safety
+# ---------------------------------------------------------------------------
+
+
+class TestEX009PackedWidths:
+    def test_fires_on_unguarded_field(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def hook_key(tid, core_id):
+                    return (tid << 10) | core_id
+            """,
+        })
+        assert rule_ids(violations) == ["EX009"]
+        assert "core_id" in violations[0].token
+
+    def test_silent_on_masked_field(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def hook_key(tid, core_id):
+                    return (tid << 10) | (core_id & 0x3FF)
+            """,
+        })
+        assert violations == []
+
+    def test_silent_on_guarded_field(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def hook_key(tid, core_id):
+                    if core_id >= (1 << 10):
+                        raise OverflowError("core_id too wide")
+                    return (tid << 10) | core_id
+            """,
+        })
+        assert violations == []
+
+    def test_width_constant_resolves_across_modules(self):
+        violations = project_check({
+            "src/repro/widths.py": """
+                CORE_BITS = 10
+            """,
+            "src/repro/keys.py": """
+                from repro.widths import CORE_BITS
+
+                def hook_key(tid, core_id):
+                    return (tid << CORE_BITS) | core_id
+            """,
+        })
+        assert rule_ids(violations) == ["EX009"]
+        assert "10-bit" in violations[0].message
+
+    def test_fires_on_literal_overflowing_its_slot(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def key(x):
+                    return (x << 2) | 9
+            """,
+        })
+        assert rule_ids(violations) == ["EX009"]
+
+    def test_silent_on_disjoint_flag_or(self):
+        """The codec's TNT stop marker: the literal sits entirely above
+        the shifted field, so it cannot corrupt it."""
+        violations = project_check({
+            "src/repro/keys.py": """
+                def tnt_byte(bits):
+                    return ((bits & 0xF) << 1) | 0x20
+            """,
+        })
+        assert violations == []
+
+    def test_fires_on_int_truncation_inside_pack(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def key(t, frac):
+                    return (t << 8) | int(frac * 255)
+            """,
+        })
+        assert rule_ids(violations) == ["EX009"]
+        assert "truncates" in violations[0].message
+
+    def test_fires_on_shift_past_int64_budget(self):
+        violations = project_check({
+            "src/repro/keys.py": """
+                def key(t, x):
+                    return (t << 63) | x
+            """,
+        })
+        assert rule_ids(violations) == ["EX009"]
+        assert "63" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# incremental cache: determinism and re-analysis scope
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def mini_tree(tmp_path):
+    """A three-module project copy small enough to edit in tests."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text(textwrap.dedent("""
+        WIDTH = 10
+
+        def key(tid, core_id):
+            return (tid << WIDTH) | (core_id & ((1 << WIDTH) - 1))
+    """))
+    (pkg / "mid.py").write_text(textwrap.dedent("""
+        from repro.base import key
+
+        def mid_key(tid, core_id):
+            return key(tid, core_id)
+    """))
+    (pkg / "leaf.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        def draw(campaign_seed):
+            return np.random.default_rng(campaign_seed)
+    """))
+    return tmp_path
+
+
+def report_bytes(result):
+    return render_json(result, result.violations, [], [])
+
+
+class TestResultCache:
+    def test_cold_warm_and_jobs_reports_are_byte_identical(self, mini_tree):
+        cold = run_check(["src"], root=mini_tree, jobs=1)
+        warm = run_check(["src"], root=mini_tree, jobs=1)
+        forked = run_check(["src"], root=mini_tree, jobs=2, use_cache=False)
+        uncached = run_check(["src"], root=mini_tree, jobs=1, use_cache=False)
+        assert report_bytes(cold) == report_bytes(warm)
+        assert report_bytes(cold) == report_bytes(forked)
+        assert report_bytes(cold) == report_bytes(uncached)
+        assert warm.files_reanalyzed == 0
+        assert warm.project_roots_reanalyzed == 0
+        assert warm.cache_hits == cold.files_analyzed
+
+    def test_one_module_edit_reanalyzes_only_module_and_dependents(self, mini_tree):
+        run_check(["src"], root=mini_tree, jobs=1)
+        base = mini_tree / "src" / "repro" / "base.py"
+        base.write_text(base.read_text() + "\n# trailing comment\n")
+        warm = run_check(["src"], root=mini_tree, jobs=1)
+        # local pass: only the edited file; project pass: the edited
+        # module plus its reverse import-graph dependent (mid), never
+        # the unrelated leaf
+        assert warm.files_reanalyzed == 1
+        assert warm.project_roots_reanalyzed == 2
+
+    def test_edit_that_introduces_violation_is_caught_warm(self, mini_tree):
+        clean = run_check(["src"], root=mini_tree, jobs=1)
+        assert clean.violations == []
+        leaf = mini_tree / "src" / "repro" / "leaf.py"
+        leaf.write_text(textwrap.dedent("""
+            import numpy as np
+            import time
+
+            def draw(campaign_seed):
+                return np.random.default_rng(int(time.time()))
+        """))
+        warm = run_check(["src"], root=mini_tree, jobs=1)
+        assert "EX007" in {v.rule for v in warm.violations}
+
+    def test_cache_file_is_rewritten_and_valid_json(self, mini_tree):
+        run_check(["src"], root=mini_tree, jobs=1)
+        cache_path = mini_tree / ".staticcheck-cache.json"
+        payload = json.loads(cache_path.read_text())
+        assert payload["version"] == 1
+        assert "repro.base" in payload["modules"]
+
+    def test_corrupt_cache_degrades_to_cold_run(self, mini_tree):
+        cold = run_check(["src"], root=mini_tree, jobs=1)
+        (mini_tree / ".staticcheck-cache.json").write_text("{not json")
+        recovered = run_check(["src"], root=mini_tree, jobs=1)
+        assert report_bytes(cold) == report_bytes(recovered)
+        assert recovered.files_reanalyzed == cold.files_analyzed
+
+
+# ---------------------------------------------------------------------------
+# --changed-only
+# ---------------------------------------------------------------------------
+
+
+def _git(root, *args):
+    return subprocess.run(
+        ["git", *args], cwd=root, capture_output=True, text=True, check=True,
+        env={"PATH": "/usr/bin:/bin",
+             "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+             "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+             "HOME": str(root)},
+    )
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git unavailable")
+class TestChangedOnly:
+    def test_changed_only_restricts_scope_to_dependents(self, mini_tree):
+        _git(mini_tree, "init", "-q", "-b", "main")
+        _git(mini_tree, "add", ".")
+        _git(mini_tree, "commit", "-q", "-m", "seed")
+        base = mini_tree / "src" / "repro" / "base.py"
+        base.write_text(base.read_text() + "\n# edited\n")
+        result = run_check(
+            ["src"], root=mini_tree, jobs=1, use_cache=False,
+            changed_only=True, changed_base="main",
+        )
+        assert result.analyzed_paths == [
+            "src/repro/base.py", "src/repro/mid.py",
+        ]
+
+    def test_changed_only_with_no_changes_analyzes_nothing(self, mini_tree):
+        _git(mini_tree, "init", "-q", "-b", "main")
+        _git(mini_tree, "add", ".")
+        _git(mini_tree, "commit", "-q", "-m", "seed")
+        result = run_check(
+            ["src"], root=mini_tree, jobs=1, use_cache=False,
+            changed_only=True, changed_base="main",
+        )
+        assert result.analyzed_paths == []
+        assert result.violations == []
+
+    def test_stale_entries_outside_scope_are_not_reported(self, mini_tree):
+        _git(mini_tree, "init", "-q", "-b", "main")
+        _git(mini_tree, "add", ".")
+        _git(mini_tree, "commit", "-q", "-m", "seed")
+        leaf = mini_tree / "src" / "repro" / "leaf.py"
+        leaf.write_text(leaf.read_text() + "\n# edited\n")
+        result = run_check(
+            ["src"], root=mini_tree, jobs=1, use_cache=False,
+            changed_only=True, changed_base="main",
+        )
+        baseline = Baseline(suppressions={
+            "EX001:src/repro/base.py:key:time.time": "entry for unanalyzed file",
+        })
+        _new, _suppressed, stale = apply_baseline(
+            result.violations, baseline, analyzed_paths=result.analyzed_paths
+        )
+        assert stale == []
+
+
+# ---------------------------------------------------------------------------
+# baseline contract edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineEdgeCases:
+    def test_empty_justification_rejected(self):
+        text = json.dumps({
+            "version": 1,
+            "suppressions": [{"key": "EX001:a.py:<module>:time.time",
+                              "justification": "   "}],
+        })
+        with pytest.raises(ValueError, match="empty justification"):
+            Baseline.from_json(text)
+
+    def test_duplicate_keys_rejected(self):
+        text = json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"key": "EX001:a.py:<module>:time.time", "justification": "one"},
+                {"key": "EX001:a.py:<module>:time.time", "justification": "two"},
+            ],
+        })
+        with pytest.raises(ValueError, match="duplicate suppression key"):
+            Baseline.from_json(text)
+
+    def test_stale_failure_message_names_the_key(self, tmp_path):
+        """The CLI text report must name the offending stale key."""
+        offender = "EX001:src/gone.py:<module>:time.time"
+        (tmp_path / "baseline.json").write_text(json.dumps({
+            "version": 1,
+            "suppressions": [{"key": offender, "justification": "obsolete"}],
+        }))
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "gone.py").write_text("X = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "src",
+             "--baseline", str(tmp_path / "baseline.json")],
+            cwd=tmp_path, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 1
+        assert f"STALE {offender}" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# SARIF emitter
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_sarif_document_shape(self):
+        result = run_check(
+            ["src/repro/util"], root=REPO_ROOT, jobs=1, use_cache=False
+        )
+        baseline = load_baseline(REPO_ROOT / "staticcheck-baseline.json")
+        new, suppressed, _stale = apply_baseline(
+            result.violations, baseline, analyzed_paths=result.analyzed_paths
+        )
+        doc = json.loads(render_sarif(result, new, suppressed))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "existcheck"
+        rule_index = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"EX001", "EX007", "EX008", "EX009"} <= rule_index
+        for entry in run["results"]:
+            assert entry["ruleId"] in rule_index
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+            assert entry["partialFingerprints"]["existcheckKey/v1"]
+
+    def test_sarif_levels_split_new_vs_baselined(self):
+        result = run_check(
+            ["src/repro/parallel"], root=REPO_ROOT, jobs=1, use_cache=False
+        )
+        baseline = load_baseline(REPO_ROOT / "staticcheck-baseline.json")
+        new, suppressed, _stale = apply_baseline(
+            result.violations, baseline, analyzed_paths=result.analyzed_paths
+        )
+        assert suppressed, "parallel package carries baselined reseeds"
+        doc = json.loads(render_sarif(result, new, suppressed))
+        levels = {entry["level"] for entry in doc["runs"][0]["results"]}
+        assert "note" in levels
+
+    def test_cli_writes_sarif(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "src/repro/util",
+             "--sarif", str(out), "--no-cache"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert json.loads(out.read_text())["version"] == "2.1.0"
